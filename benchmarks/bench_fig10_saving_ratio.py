@@ -1,0 +1,107 @@
+"""Fig. 10 — achieved vs theoretical memory-saving ratio.
+
+Paper: across the three models, n in {2,4,8} and a range of batch
+sizes, the measured reduction reaches about 95% of the Eq. 6 bound —
+the gap being small tensors (gating/routing data) that the formula
+ignores.
+
+The *achieved* side here is a genuine measurement: the functional
+pipelined executor runs forward+backward through the caching allocator
+with and without reuse, with model states, TI/TO and the small
+gating/routing tensors metered alongside.  The *theoretical* side is
+Eq. 6 on the same (scaled) layer shape; the functional run scales
+d_model down by a constant, which leaves the ratio intact because every
+term of Eq. 6 is linear in the tensor sizes.
+"""
+
+import numpy as np
+
+from repro.config import MoELayerSpec, get_preset
+from repro.core.experts import ExpertFFN
+from repro.memory.footprint import FootprintModel
+from repro.memory.host_pool import HostBufferPool
+from repro.pipeline.executor import PipelinedMoEMiddle
+from repro.sim.memory_allocator import CachingAllocator
+from repro.utils import Table
+
+from conftest import emit, run_once
+
+SCALE = 64  # functional run shrinks d_model/d_hidden by this factor
+WORLD, EPER = 4, 2
+ITEM = 8  # float64
+
+
+def scaled_probe(spec: MoELayerSpec, batch: int, n: int):
+    """Scaled layer shape + matching FootprintModel for theory."""
+    m = max(4, spec.d_model // SCALE)
+    h = m * (spec.d_hidden // spec.d_model)
+    capacity = max(n, (batch // SCALE // (WORLD * EPER)) // n * n)
+    rows = WORLD * EPER * capacity  # per-device dispatch rows = "B"
+    probe = MoELayerSpec("probe", d_model=m, d_hidden=h,
+                         num_experts=WORLD * EPER)
+    return probe, capacity, rows
+
+
+def measure_peak(probe, capacity, rows, n, strategy, seed=0):
+    m, h = probe.d_model, probe.d_hidden
+    experts = [
+        [ExpertFFN(m, h, activation="relu", seed=r * 10 + e) for e in range(EPER)]
+        for r in range(WORLD)
+    ]
+    rng = np.random.default_rng(seed)
+    ti = rng.standard_normal((WORLD, WORLD, EPER, capacity, m))
+    meter = CachingAllocator()
+    per_device_ti = rows * m * ITEM
+    states = 4 * (probe.gate_params + EPER * probe.expert_params) * ITEM
+    persistent = [
+        meter.allocate(states, label="model-states"),
+        meter.allocate(per_device_ti, label="TI"),
+        meter.allocate(per_device_ti, label="TO"),
+        # Small tensors Eq. 6 ignores: gate logits/probs + routing indices.
+        meter.allocate(rows * probe.num_experts * ITEM, label="gate-logits"),
+        meter.allocate(rows * ITEM, label="routing"),
+    ]
+    eng = PipelinedMoEMiddle(
+        experts, n, strategy, meter=meter, host_pool=HostBufferPool()
+    )
+    eng.forward(ti.copy())
+    eng.backward(rng.standard_normal(ti.shape))
+    for handle in persistent:
+        meter.free(handle)
+    return meter.peak_reserved_bytes
+
+
+def compute():
+    rows_out = []
+    for model in ("GPT-S", "BERT-L", "GPT-XL"):
+        spec = get_preset(model)
+        for n in (2, 4, 8):
+            for batch in (4096, 16384, 32768):
+                probe, capacity, rows = scaled_probe(spec, batch, n)
+                theoretical = FootprintModel(probe, WORLD).saving_ratio(rows, n)
+                peak_none = measure_peak(probe, capacity, rows, n, "none")
+                peak_reuse = measure_peak(probe, capacity, rows, n, "S4")
+                achieved = (peak_none - peak_reuse) / peak_none
+                rows_out.append(
+                    (model, n, batch, theoretical, achieved,
+                     achieved / theoretical if theoretical else float("nan"))
+                )
+    return rows_out
+
+
+def test_fig10_saving_ratio(benchmark):
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["model", "n", "B", "theoretical", "achieved", "achieved/theoretical"],
+        title="Fig. 10 — memory saving ratio: achieved vs Eq. 6 bound",
+    )
+    for row in rows:
+        table.add_row(row)
+    emit("fig10_saving_ratio", table)
+
+    fractions = [r[5] for r in rows if np.isfinite(r[5]) and r[3] > 0.02]
+    # Achieved tracks the bound: the paper reports ~95%.  Allocator
+    # rounding at tiny scaled capacities can nudge a point slightly
+    # above 1.0.
+    assert all(0.75 <= f <= 1.05 for f in fractions), fractions
+    assert float(np.mean(fractions)) > 0.9

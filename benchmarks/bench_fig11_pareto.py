@@ -1,0 +1,67 @@
+"""Fig. 11 — overall performance breakdown in memory-time coordinates.
+
+Paper: GPT-XL on 64 GPUs; points for FastMoE, FasterMoE, PipeMoE(n=4),
+PipeMoE and MPipeMoE in (memory footprint, training time) space.  The
+closer to the origin the better: MPipeMoE dominates both baselines, and
+the MPipeMoE point trades a little time (reuse overhead) for the lowest
+memory.
+"""
+
+from repro.config import MOE_GPT3_XL
+from repro.systems import (
+    FastMoEModel,
+    FasterMoEModel,
+    MPipeMoEModel,
+    PipeMoEModel,
+)
+from repro.utils import Table
+
+from conftest import emit, run_once
+
+BATCH = 16384
+
+
+def compute(ctx):
+    systems = [
+        FastMoEModel(ctx),
+        FasterMoEModel(ctx),
+        PipeMoEModel(ctx, fixed_n=4),
+        PipeMoEModel(ctx),
+        MPipeMoEModel(ctx),
+    ]
+    return [s.evaluate(MOE_GPT3_XL, BATCH) for s in systems]
+
+
+def test_fig11_pareto(benchmark, paper_world):
+    reports = run_once(benchmark, lambda: compute(paper_world))
+    table = Table(
+        ["system", "memory (MB)", "time (ms)", "n", "strategy"],
+        title=f"Fig. 11 — memory-time coordinates, GPT-XL (B={BATCH})",
+    )
+    for rep in reports:
+        table.add_row(
+            [
+                rep.system,
+                rep.peak_memory_bytes / 1e6,
+                rep.iteration_time * 1e3,
+                rep.num_partitions,
+                rep.strategy,
+            ]
+        )
+    emit("fig11_pareto", table)
+
+    by_name = {r.system: r for r in reports}
+    fast, faster = by_name["FastMoE"], by_name["FasterMoE"]
+    pipe4, pipe = by_name["PipeMoE(n=4)"], by_name["PipeMoE"]
+    mpipe = by_name["MPipeMoE"]
+
+    # MPipeMoE strictly dominates both baselines (closer to the origin).
+    for baseline in (fast, faster):
+        assert mpipe.iteration_time < baseline.iteration_time
+        assert mpipe.peak_memory_bytes < baseline.peak_memory_bytes
+    # Adaptive PipeMoE is at least as fast as the pinned n=4 variant.
+    assert pipe.iteration_time <= pipe4.iteration_time * 1.0001
+    # MPipeMoE achieves the lowest memory of all systems.
+    assert mpipe.peak_memory_bytes == min(r.peak_memory_bytes for r in reports)
+    # ... paying only a bounded time overhead over pure PipeMoE.
+    assert mpipe.iteration_time <= pipe.iteration_time * 1.35

@@ -1,0 +1,56 @@
+"""Fig. 12 — effect of pipeline granularity across batch sizes.
+
+Paper: GPT-XL, speedup of PipeMoE with fixed n in {1,2,4,8} (normalized
+to n=1) as B sweeps 4k..31k, plus the adaptive configuration (dashed
+line) tracking the upper envelope.  Published bands: n=2 best below 8k,
+n=4 best for 8k-22k, n=8 best beyond 22k.
+"""
+
+from repro.config import MOE_GPT3_XL
+from repro.systems import PipeMoEModel
+from repro.utils import Table
+
+from conftest import emit, run_once
+
+BATCHES = [1024 * k for k in (4, 6, 8, 12, 16, 20, 22, 24, 28, 31)]
+FIXED_NS = (1, 2, 4, 8)
+
+
+def compute(ctx):
+    fixed = {n: PipeMoEModel(ctx, fixed_n=n) for n in FIXED_NS}
+    adaptive = PipeMoEModel(ctx)
+    rows = []
+    for batch in BATCHES:
+        base = fixed[1].evaluate(MOE_GPT3_XL, batch).iteration_time
+        speedups = {
+            n: base / fixed[n].evaluate(MOE_GPT3_XL, batch).iteration_time
+            for n in FIXED_NS
+        }
+        rep = adaptive.evaluate(MOE_GPT3_XL, batch)
+        rows.append((batch, speedups, base / rep.iteration_time, rep.num_partitions))
+    return rows
+
+
+def test_fig12_granularity(benchmark, paper_world):
+    rows = run_once(benchmark, lambda: compute(paper_world))
+    table = Table(
+        ["B", "n=1", "n=2", "n=4", "n=8", "adaptive", "chosen n"],
+        title="Fig. 12 — speedup vs PipeMoE(n=1) across granularities, GPT-XL",
+    )
+    for batch, speedups, adaptive_speedup, chosen in rows:
+        table.add_row(
+            [batch // 1024 * 1024, *(speedups[n] for n in FIXED_NS),
+             adaptive_speedup, chosen]
+        )
+    emit("fig12_granularity", table)
+
+    # Adaptive tracks the best fixed configuration everywhere.
+    for batch, speedups, adaptive_speedup, _ in rows:
+        assert adaptive_speedup >= max(speedups.values()) * 0.999, batch
+    # The chosen n is monotone non-decreasing in B (Algorithm 1's
+    # hypothesis, which Fig. 12 validates).
+    chosen = [c for *_, c in rows]
+    assert chosen == sorted(chosen)
+    # The paper's bands: small batches prefer coarse n, large prefer fine.
+    assert chosen[0] <= 2
+    assert chosen[-1] >= 8

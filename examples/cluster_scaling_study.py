@@ -1,0 +1,74 @@
+"""Scaling study: how the four systems behave from 8 to 64 GPUs.
+
+Sweeps the world size with the GPT-XL layer and prints iteration time,
+speedup over FastMoE, adaptive granularity and selected strategy — the
+compressed view of the paper's whole evaluation section.  Also exports
+a Chrome trace of one pipelined iteration for inspection in
+chrome://tracing or https://ui.perfetto.dev.
+
+Run:  python examples/cluster_scaling_study.py
+"""
+
+from repro.comm.cost import NcclCostModel
+from repro.config import MOE_GPT3_XL
+from repro.hardware.device import A100_SXM_40GB
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.sim.trace import save_chrome_trace
+from repro.systems import (
+    FastMoEModel,
+    FasterMoEModel,
+    MPipeMoEModel,
+    PipeMoEModel,
+)
+from repro.systems.base import SystemContext
+from repro.utils import Table
+
+BATCH = 16384
+
+
+def main() -> None:
+    table = Table(
+        ["N", "system", "time (ms)", "speedup", "memory (MB)", "n", "strategy"],
+        title=f"GPT-XL scaling, B={BATCH} tokens/GPU",
+    )
+    for world in (8, 16, 32, 64):
+        ctx = SystemContext(world_size=world)
+        systems = [
+            FastMoEModel(ctx),
+            FasterMoEModel(ctx),
+            PipeMoEModel(ctx),
+            MPipeMoEModel(ctx),
+        ]
+        base = None
+        for system in systems:
+            rep = system.evaluate(MOE_GPT3_XL, BATCH)
+            if base is None:
+                base = rep
+            table.add_row(
+                [
+                    world,
+                    rep.system,
+                    rep.iteration_time * 1e3,
+                    base.iteration_time / rep.iteration_time,
+                    rep.peak_memory_bytes / 1e6,
+                    rep.num_partitions,
+                    rep.strategy,
+                ]
+            )
+    print(table)
+
+    # Export one pipelined iteration's timeline as a Chrome trace.
+    ctx = SystemContext(world_size=64)
+    costs = MoEStageCosts.compute(
+        MOE_GPT3_XL, BATCH, 4, A100_SXM_40GB, ctx.comm_model()
+    )
+    res = timeline_makespan(build_timeline(costs, 4, strategy="S1"))
+    save_chrome_trace(res.records, "mpipemoe_timeline.json")
+    print(
+        f"\nwrote mpipemoe_timeline.json ({len(res.records)} ops, "
+        f"makespan {res.makespan * 1e3:.2f} ms) — open in chrome://tracing"
+    )
+
+
+if __name__ == "__main__":
+    main()

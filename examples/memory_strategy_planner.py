@@ -1,0 +1,74 @@
+"""Plan memory-reuse strategy and footprint for a target deployment.
+
+Given a model preset (Table III) and a cluster size, this example walks
+the paper's Sec. III analysis: the Eq. 1-3 footprint breakdown, the
+Eq. 5/6 savings per granularity, and the Eq. 10 strategy selection —
+then cross-checks the choice against the discrete-event simulator.
+
+Run:  python examples/memory_strategy_planner.py [GPT-S|BERT-L|GPT-XL]
+"""
+
+import sys
+
+from repro.comm.cost import NcclCostModel
+from repro.config import DGX_A100_CLUSTER, get_preset
+from repro.hardware.device import A100_SXM_40GB
+from repro.hardware.topology import ClusterTopology
+from repro.memory.footprint import FootprintModel
+from repro.memory.strategies import strategy_names
+from repro.perfmodel.cost import HardwareRates, PerfModel
+from repro.perfmodel.selector import StrategySelector
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.utils import Table, fmt_bytes
+
+WORLD = 64
+BATCH = 16384
+N = 4
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "GPT-XL"
+    spec = get_preset(model)
+    print(f"planning for {spec.name} on {WORLD} GPUs, B={BATCH} tokens/GPU\n")
+
+    # -- Eq. 1-3 breakdown -------------------------------------------------
+    fp = FootprintModel(spec, WORLD)
+    parts = fp.breakdown(BATCH)
+    table = Table(["component", "bytes", "share"], title="footprint breakdown (Fig. 2)")
+    total = sum(parts.values())
+    for name, nbytes in parts.items():
+        table.add_row([name, fmt_bytes(nbytes), f"{nbytes / total:.1%}"])
+    print(table, "\n")
+
+    # -- Eq. 5/6 savings per granularity ------------------------------------
+    table = Table(["n", "pipelined", "with reuse", "saving (Eq. 6)"],
+                  title="memory reuse savings per granularity")
+    for n in (2, 4, 8):
+        piped = fp.total_bytes(BATCH, pipelined=True)
+        reused = fp.total_bytes(BATCH, pipelined=True, reuse_n=n)
+        table.add_row([n, fmt_bytes(piped), fmt_bytes(reused),
+                       f"{fp.saving_ratio(BATCH, n):.1%}"])
+    print(table, "\n")
+
+    # -- Eq. 10 selection ----------------------------------------------------
+    topo = ClusterTopology(DGX_A100_CLUSTER)
+    comm = NcclCostModel(topo, WORLD)
+    rates = HardwareRates.from_cluster(A100_SXM_40GB, comm)
+    selector = StrategySelector(
+        PerfModel(spec, rates), footprint=fp,
+        device_capacity=A100_SXM_40GB.memory_bytes,
+    )
+    result = selector.select(BATCH, N)
+    table = Table(["strategy", "Eq. 10 cost (ms)", "simulated (ms)"],
+                  title=f"strategy costs at n={N}")
+    costs = MoEStageCosts.compute(spec, BATCH, N, A100_SXM_40GB, comm)
+    for name in strategy_names(reuse_only=True):
+        sim = timeline_makespan(build_timeline(costs, N, strategy=name)).makespan
+        table.add_row([name, result.costs[name] * 1e3, sim * 1e3])
+    print(table)
+    print(f"\nEq. 10 selects: {result.strategy.name} "
+          f"(footprint {fmt_bytes(result.memory_bytes)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-build-isolation --no-use-pep517`` work on
+environments whose setuptools predates PEP 660 editable wheels (the
+offline toolchain used here).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

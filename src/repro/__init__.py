@@ -1,0 +1,50 @@
+"""MPipeMoE reproduction — memory-efficient MoE training with adaptive
+pipeline parallelism (Zhang et al., IPDPS 2023).
+
+Public API
+----------
+The paper's usage pattern translates directly::
+
+    import repro
+
+    layer = repro.MoELayer(d_model=1024, d_hidden=4096, top_k=1,
+                           num_experts=64, world_size=8,
+                           pipeline=True, memory_reuse=True)
+
+See :mod:`repro.core` for the layer, :mod:`repro.systems` for the
+evaluation system models (FastMoE / FasterMoE / PipeMoE / MPipeMoE),
+:mod:`repro.pipeline` for adaptive pipelining, and :mod:`repro.memory`
+for the reuse strategies and footprint model.
+"""
+
+from repro.config import (
+    ClusterSpec,
+    DGX_A100_CLUSTER,
+    MoELayerSpec,
+    MOE_BERT_L,
+    MOE_GPT3_S,
+    MOE_GPT3_XL,
+    PipelineConfig,
+    get_preset,
+)
+from repro.core import MoELayer, MoEOutput, TopKGate, ExpertFFN
+from repro.tensor import Tensor, no_grad
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MoELayer",
+    "MoEOutput",
+    "TopKGate",
+    "ExpertFFN",
+    "Tensor",
+    "no_grad",
+    "MoELayerSpec",
+    "ClusterSpec",
+    "PipelineConfig",
+    "MOE_GPT3_S",
+    "MOE_GPT3_XL",
+    "MOE_BERT_L",
+    "DGX_A100_CLUSTER",
+    "get_preset",
+]

@@ -1,0 +1,34 @@
+"""Communication substrate.
+
+The functional half (:mod:`repro.comm.group`, :mod:`repro.comm.collectives`)
+implements NCCL-style collectives over in-process ranks: every rank's
+buffer is a numpy array living in the same interpreter, and a collective
+is a deterministic permutation/reduction over the per-rank list — the
+mpi4py buffer-protocol idiom without needing an MPI launcher.
+
+The timing half (:mod:`repro.comm.cost`) prices those collectives on the
+simulated cluster topology, including the degraded point-to-point
+decomposition FasterMoE uses (paper Fig. 5a discussion).
+"""
+
+from repro.comm.group import ProcessGroup
+from repro.comm.collectives import (
+    all_to_all,
+    all_to_all_single,
+    all_gather,
+    all_reduce,
+    reduce_scatter,
+    broadcast,
+)
+from repro.comm.cost import NcclCostModel
+
+__all__ = [
+    "ProcessGroup",
+    "all_to_all",
+    "all_to_all_single",
+    "all_gather",
+    "all_reduce",
+    "reduce_scatter",
+    "broadcast",
+    "NcclCostModel",
+]

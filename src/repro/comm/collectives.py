@@ -1,0 +1,125 @@
+"""Functional NCCL-style collectives over per-rank numpy buffers.
+
+Every function takes ``inputs`` as a list with one array per rank (the
+in-process analogue of each rank calling the collective with its local
+buffer) and returns the per-rank outputs.  Shapes follow
+``torch.distributed`` conventions:
+
+* ``all_to_all_single``: rank r's input of shape ``(W, chunk, ...)``
+  scatters row i to rank i; output row i came from rank i.
+* ``all_gather``: every rank receives the stacked inputs.
+* ``all_reduce``: element-wise sum (default) replicated to all ranks.
+
+All outputs are fresh arrays (no aliasing with inputs) so callers can
+mutate them freely — mirroring NCCL's separate send/recv buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+
+
+def _check_same_shape(inputs: Sequence[np.ndarray]) -> None:
+    first = inputs[0].shape
+    for i, arr in enumerate(inputs):
+        if arr.shape != first:
+            raise ValueError(
+                f"collective requires equal shapes, rank 0 has {first} but "
+                f"rank {i} has {arr.shape}"
+            )
+
+
+def all_to_all_single(
+    group: ProcessGroup, inputs: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Symmetric All-to-All: transpose the (src, dst) block matrix.
+
+    ``inputs[r]`` has shape ``(W, chunk, ...)``; output[r][i] ==
+    inputs[i][r].  This is the dispatch/combine primitive of expert
+    parallelism (paper Fig. 1): applied twice it is the identity.
+    """
+    group.validate_per_rank(inputs)
+    _check_same_shape(inputs)
+    w = group.world_size
+    if inputs[0].shape[0] != w:
+        raise ValueError(
+            f"all_to_all_single needs leading dim == world_size ({w}), "
+            f"got {inputs[0].shape[0]}"
+        )
+    return [
+        np.stack([inputs[src][dst] for src in range(w)], axis=0)
+        for dst in range(w)
+    ]
+
+
+def all_to_all(
+    group: ProcessGroup, inputs: Sequence[Sequence[np.ndarray]]
+) -> list[list[np.ndarray]]:
+    """List-of-tensors All-to-All (possibly unequal chunk sizes).
+
+    ``inputs[r][i]`` is the tensor rank r sends to rank i; the result
+    ``outputs[r][i]`` is the tensor rank r received from rank i.  Chunks
+    may have different leading dimensions — this is what real MoE routing
+    produces before capacity padding.
+    """
+    group.validate_per_rank(inputs)
+    w = group.world_size
+    for r, row in enumerate(inputs):
+        if len(row) != w:
+            raise ValueError(f"rank {r} sends {len(row)} chunks, expected {w}")
+    return [
+        [np.array(inputs[src][dst], copy=True) for src in range(w)]
+        for dst in range(w)
+    ]
+
+
+def all_gather(group: ProcessGroup, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Every rank receives ``stack(inputs)`` of shape ``(W, ...)``."""
+    group.validate_per_rank(inputs)
+    _check_same_shape(inputs)
+    gathered = np.stack(list(inputs), axis=0)
+    return [gathered.copy() for _ in group.ranks()]
+
+
+def all_reduce(
+    group: ProcessGroup,
+    inputs: Sequence[np.ndarray],
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> list[np.ndarray]:
+    """Element-wise reduction replicated to every rank (default: sum)."""
+    group.validate_per_rank(inputs)
+    _check_same_shape(inputs)
+    acc = inputs[0].copy()
+    for arr in inputs[1:]:
+        acc = op(acc, arr)
+    return [acc.copy() for _ in group.ranks()]
+
+
+def reduce_scatter(
+    group: ProcessGroup, inputs: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Sum-reduce then scatter row r to rank r.
+
+    ``inputs[r]`` has shape ``(W, chunk, ...)``; rank r receives
+    ``sum_s inputs[s][r]``.
+    """
+    group.validate_per_rank(inputs)
+    _check_same_shape(inputs)
+    w = group.world_size
+    if inputs[0].shape[0] != w:
+        raise ValueError("reduce_scatter needs leading dim == world_size")
+    total = np.sum(np.stack(list(inputs), axis=0), axis=0)
+    return [total[r].copy() for r in range(w)]
+
+
+def broadcast(
+    group: ProcessGroup, inputs: Sequence[np.ndarray], root: int = 0
+) -> list[np.ndarray]:
+    """Replicate the root rank's buffer to every rank."""
+    group.validate_per_rank(inputs)
+    group._check_rank(root)
+    return [inputs[root].copy() for _ in group.ranks()]

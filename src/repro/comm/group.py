@@ -1,0 +1,49 @@
+"""In-process rank group.
+
+A :class:`ProcessGroup` stands in for ``torch.distributed``'s default
+group: it fixes the world size and offers per-rank utilities.  All ranks
+live in one interpreter, so "communication" is array exchange between
+slots of per-rank lists — bitwise-deterministic, which is exactly what
+the correctness tests need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.utils.seeding import derive_seed, seeded_rng
+
+T = TypeVar("T")
+
+
+class ProcessGroup:
+    """A fixed-size group of simulated ranks."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+
+    def ranks(self) -> range:
+        return range(self.world_size)
+
+    def rank_rng(self, base_seed: int, rank: int) -> np.random.Generator:
+        """Independent generator for one rank (for per-rank weights/data)."""
+        self._check_rank(rank)
+        return seeded_rng(derive_seed(base_seed, "rank", rank))
+
+    def validate_per_rank(self, items: Sequence[T], what: str = "buffers") -> None:
+        """Assert a per-rank list has exactly one entry per rank."""
+        if len(items) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} {what} (one per rank), got {len(items)}"
+            )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise IndexError(f"rank {rank} out of range [0, {self.world_size})")
+
+    def __repr__(self) -> str:
+        return f"ProcessGroup(world_size={self.world_size})"

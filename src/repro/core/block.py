@@ -1,0 +1,57 @@
+"""MoE transformer block: pre-norm + MoE layer + residual.
+
+The paper's MoE models replace the FFN sub-layer of a transformer block
+with the MoE layer (Sec. II-A).  This module provides that host block —
+``y = x + MoE(LayerNorm(x))`` per rank — so examples and tests can train
+something shaped like the real workload rather than a bare layer.
+
+Dropped tokens produce zero MoE output, so the residual path carries
+them through unchanged — the standard Switch Transformer behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.moe_layer import MoELayer, MoEOutput
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.utils.seeding import derive_seed
+
+
+class MoETransformerBlock:
+    """Pre-norm residual block hosting an :class:`MoELayer`.
+
+    The LayerNorm parameters are replicated across ranks (data-parallel,
+    like the gate), so a single (gamma, beta) pair serves all ranks.
+    """
+
+    def __init__(self, moe: MoELayer, seed: int = 0, eps: float = 1e-5) -> None:
+        self.moe = moe
+        self.eps = eps
+        d = moe.spec.d_model
+        # Affine init: identity transform.
+        rng_unused = derive_seed(seed, "ln")  # reserved for future non-id init
+        del rng_unused
+        self.gamma = Tensor(np.ones(d, dtype=np.float64), requires_grad=True,
+                            name="ln.gamma")
+        self.beta = Tensor(np.zeros(d, dtype=np.float64), requires_grad=True,
+                           name="ln.beta")
+
+    def parameters(self) -> list[Tensor]:
+        return [self.gamma, self.beta, *self.moe.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, xs: list[Tensor]) -> tuple[list[Tensor], MoEOutput]:
+        """Per-rank ``x + MoE(LN(x))``; returns outputs and the MoE info."""
+        normed = [
+            F.layer_norm(x, self.gamma, self.beta, eps=self.eps) for x in xs
+        ]
+        moe_out = self.moe.forward(normed)
+        outputs = [F.add(x, y) for x, y in zip(xs, moe_out.outputs)]
+        return outputs, moe_out
+
+    __call__ = forward

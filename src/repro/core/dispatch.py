@@ -1,0 +1,137 @@
+"""Capacity-based token dispatch and combine.
+
+Follows the GShard/Switch expert-parallel layout the paper builds on
+(Fig. 1): each rank packs its B local tokens into a dispatch buffer of
+shape ``(E, C, M)`` — ``C`` slots per (source rank, expert) — which the
+All-to-All then exchanges expert-major, so the rank hosting expert ``e``
+receives ``(W, C, M)`` rows for it.
+
+Tokens beyond an expert's capacity are *dropped* (their combined output
+is zero), which is how Switch keeps all collective buffers equal-shaped;
+with ``capacity_factor >= 1`` and balanced routing nothing drops.
+
+Slot assignment is fully vectorised: a stable argsort groups token
+choices by expert, and positions within each group come from a
+cumulative count — no Python loop over tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gating import GateDecision
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def capacity_for(batch: int, num_experts: int, top_k: int, capacity_factor: float) -> int:
+    """Slots per (source rank, expert): ceil(cf * B * k / E), at least 1."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    if capacity_factor <= 0:
+        raise ValueError("capacity_factor must be positive")
+    return max(1, int(np.ceil(capacity_factor * batch * top_k / num_experts)))
+
+
+def positions_within_expert(flat_experts: np.ndarray, num_experts: int) -> np.ndarray:
+    """Arrival position of each routing choice within its expert's queue.
+
+    Stable: earlier tokens claim earlier slots, matching the sequential
+    semantics of Switch's cumsum-based implementation.
+    """
+    order = np.argsort(flat_experts, kind="stable")
+    sorted_experts = flat_experts[order]
+    # Index of each element within its equal-expert run.
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_experts[1:] != sorted_experts[:-1]))
+    )
+    within = np.arange(flat_experts.size)
+    within -= np.repeat(run_starts, np.diff(np.append(run_starts, flat_experts.size)))
+    positions = np.empty_like(within)
+    positions[order] = within
+    return positions
+
+
+@dataclass
+class DispatchPlan:
+    """Routing geometry for one rank's batch (data only, no tensors).
+
+    ``slots``/``token_ids`` enumerate the *kept* routing choices:
+    ``slots[i]`` is the flat row in the ``(E*C, M)`` dispatch buffer
+    that token ``token_ids[i]``'s choice ``choice_ids[i]`` occupies.
+    """
+
+    batch: int
+    num_experts: int
+    capacity: int
+    token_ids: np.ndarray  # (n_kept,)
+    choice_ids: np.ndarray  # (n_kept,) index into the k choices
+    slots: np.ndarray  # (n_kept,)
+    dropped: int
+
+    @property
+    def buffer_rows(self) -> int:
+        return self.num_experts * self.capacity
+
+    @property
+    def keep_fraction(self) -> float:
+        total = self.token_ids.size + self.dropped
+        return self.token_ids.size / total if total else 1.0
+
+
+def plan_dispatch(
+    decision: GateDecision,
+    num_experts: int,
+    capacity: int,
+) -> DispatchPlan:
+    """Assign dispatch-buffer slots to the routing choices of one batch."""
+    idx = decision.expert_indices
+    b, k = idx.shape
+    flat_experts = idx.reshape(-1)
+    pos = positions_within_expert(flat_experts, num_experts)
+    kept = pos < capacity
+    token_ids = np.repeat(np.arange(b), k)[kept]
+    choice_ids = np.tile(np.arange(k), b)[kept]
+    slots = (flat_experts[kept] * capacity + pos[kept]).astype(np.intp)
+    return DispatchPlan(
+        batch=b,
+        num_experts=num_experts,
+        capacity=capacity,
+        token_ids=token_ids.astype(np.intp),
+        choice_ids=choice_ids.astype(np.intp),
+        slots=slots,
+        dropped=int((~kept).sum()),
+    )
+
+
+def dispatch_tokens(x: Tensor, plan: DispatchPlan) -> Tensor:
+    """Pack tokens into the flat ``(E*C, M)`` dispatch buffer (autograd).
+
+    Unfilled slots stay zero — they are padding that real systems also
+    ship through the All-to-All.
+    """
+    if x.shape[0] != plan.batch:
+        raise ValueError(f"x has {x.shape[0]} tokens, plan expects {plan.batch}")
+    rows = F.take_rows(x, plan.token_ids)
+    return F.scatter_rows(rows, plan.slots, plan.buffer_rows)
+
+
+def combine_tokens(received: Tensor, plan: DispatchPlan, decision: GateDecision) -> Tensor:
+    """Unpack expert outputs back to token order, gate-prob weighted.
+
+    ``received`` is the flat ``(E*C, M)`` buffer after the return
+    All-to-All.  Dropped tokens produce zero rows (Switch semantics).
+    Gradients flow to ``received`` and to the gate probabilities.
+    """
+    if received.shape[0] != plan.buffer_rows:
+        raise ValueError(
+            f"received has {received.shape[0]} rows, plan expects {plan.buffer_rows}"
+        )
+    rows = F.take_rows(received, plan.slots)
+    b, k = plan.batch, decision.gate_probs.shape[1]
+    flat_probs = F.reshape(decision.gate_probs, (b * k,))
+    kept_flat = (plan.token_ids * k + plan.choice_ids).astype(np.intp)
+    probs_kept = F.take_rows(flat_probs, kept_flat)
+    return F.scatter_rows(rows, plan.token_ids, plan.batch, weights=probs_kept)

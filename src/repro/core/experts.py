@@ -1,0 +1,185 @@
+"""Expert feed-forward network.
+
+An expert is the transformer FFN the paper describes (Sec. IV-A): two
+linear layers with an elementwise activation between them::
+
+    y = act(x @ W1 + b1) @ W2 + b2        x: (T, M), W1: (M, H), W2: (H, M)
+
+Two execution paths:
+
+* **autograd** (:meth:`ExpertFFN.forward`): builds the tape, used by the
+  reference (non-reused) layer and for end-to-end training;
+* **explicit** (:meth:`forward_np` / :meth:`backward_np`): plain numpy
+  with the caller owning activation storage — this is what the
+  memory-reusing pipelined executor drives, because strategies S1-S4
+  need to drop and later *restore* ``TDI`` (the input x) and ``TM`` (the
+  hidden pre-activation) rather than let a tape stash them.
+
+``TM`` is stored as the *pre-activation* so GELU's exact gradient is
+computable; re-applying the cheap elementwise activation during backward
+costs a temporary, not a stashed tensor, keeping the paper's Eq. 2
+accounting (one ``(B, H)`` activation per expert stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.utils.seeding import seeded_rng
+
+_ACT_NP = {
+    "relu": lambda z: np.maximum(z, 0.0),
+    "gelu": None,  # filled below
+    "identity": lambda z: z,
+}
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def _gelu_np(z: np.ndarray) -> np.ndarray:
+    return 0.5 * z * (1.0 + np.tanh(_SQRT_2_OVER_PI * (z + 0.044715 * z**3)))
+
+
+def _gelu_grad_np(z: np.ndarray) -> np.ndarray:
+    t = np.tanh(_SQRT_2_OVER_PI * (z + 0.044715 * z**3))
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * z**2)
+    return 0.5 * (1.0 + t) + 0.5 * z * (1.0 - t**2) * d_inner
+
+
+_ACT_NP["gelu"] = _gelu_np
+
+_ACT_GRAD_NP = {
+    "relu": lambda z: (z > 0).astype(z.dtype),
+    "gelu": _gelu_grad_np,
+    "identity": lambda z: np.ones_like(z),
+}
+
+
+@dataclass
+class ExpertGrads:
+    """Parameter gradients of one expert from one backward slice."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+
+    def add_(self, other: "ExpertGrads") -> None:
+        self.w1 += other.w1
+        self.b1 += other.b1
+        self.w2 += other.w2
+        self.b2 += other.b2
+
+
+class ExpertFFN:
+    """One expert: Linear(M->H) -> activation -> Linear(H->M)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_hidden: int,
+        activation: str = "gelu",
+        seed: int | None = None,
+        dtype=np.float64,
+    ) -> None:
+        if activation not in _ACT_NP:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.d_model = d_model
+        self.d_hidden = d_hidden
+        self.activation = activation
+        rng = seeded_rng(seed)
+        scale1 = np.sqrt(2.0 / (d_model + d_hidden))
+        scale2 = np.sqrt(2.0 / (d_hidden + d_model))
+        self.w1 = Tensor(
+            rng.standard_normal((d_model, d_hidden)).astype(dtype) * scale1,
+            requires_grad=True,
+            name="w1",
+        )
+        self.b1 = Tensor(np.zeros(d_hidden, dtype=dtype), requires_grad=True, name="b1")
+        self.w2 = Tensor(
+            rng.standard_normal((d_hidden, d_model)).astype(dtype) * scale2,
+            requires_grad=True,
+            name="w2",
+        )
+        self.b2 = Tensor(np.zeros(d_model, dtype=dtype), requires_grad=True, name="b2")
+
+    # -- parameter plumbing ---------------------------------------------------
+    def parameters(self) -> list[Tensor]:
+        return [self.w1, self.b1, self.w2, self.b2]
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- autograd path -----------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Tape-building forward for ``x`` of shape ``(T, M)``."""
+        hidden = F.add(F.matmul(x, self.w1), self.b1)
+        act = F.ACTIVATIONS[self.activation](hidden)
+        return F.add(F.matmul(act, self.w2), self.b2)
+
+    __call__ = forward
+
+    # -- explicit path (memory-reuse engine) ---------------------------------------
+    def forward_np(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Explicit forward returning ``(y, tm_pre)``.
+
+        ``tm_pre`` is the hidden pre-activation (the paper's TM).  When
+        ``out`` is given the result is written into it (shared-buffer
+        memory reuse writes partitions into one ring buffer).
+        """
+        tm_pre = x @ self.w1.data + self.b1.data
+        act = _ACT_NP[self.activation](tm_pre)
+        y = act @ self.w2.data + self.b2.data
+        if out is not None:
+            out[...] = y
+            y = out
+        return y, tm_pre
+
+    def recompute_tm(self, x: np.ndarray) -> np.ndarray:
+        """Restore TM from TDI (strategy S3/S4 recompute path)."""
+        return x @ self.w1.data + self.b1.data
+
+    def backward_np(
+        self, x: np.ndarray, tm_pre: np.ndarray, dy: np.ndarray
+    ) -> tuple[np.ndarray, ExpertGrads]:
+        """Explicit backward.
+
+        Parameters are the stashed/restored activations: ``x`` (TDI) and
+        ``tm_pre`` (TM), plus the upstream gradient ``dy`` (the temporary
+        buffer of Sec. II-B).  Returns ``(dx, parameter grads)``.
+        """
+        act = _ACT_NP[self.activation](tm_pre)
+        dw2 = act.T @ dy
+        db2 = dy.sum(axis=0)
+        dact = dy @ self.w2.data.T
+        dpre = dact * _ACT_GRAD_NP[self.activation](tm_pre)
+        dw1 = x.T @ dpre
+        db1 = dpre.sum(axis=0)
+        dx = dpre @ self.w1.data.T
+        return dx, ExpertGrads(w1=dw1, b1=db1, w2=dw2, b2=db2)
+
+    def accumulate_grads(self, grads: ExpertGrads) -> None:
+        """Fold explicit-path gradients into the autograd ``.grad`` slots."""
+        for param, g in (
+            (self.w1, grads.w1),
+            (self.b1, grads.b1),
+            (self.w2, grads.w2),
+            (self.b2, grads.b2),
+        ):
+            param.grad = g.copy() if param.grad is None else param.grad + g
+
+    # -- cost accounting --------------------------------------------------------------
+    def flops_per_token(self) -> float:
+        """Forward FLOPs per token: two GEMMs of 2*M*H each."""
+        return 4.0 * self.d_model * self.d_hidden

@@ -1,0 +1,120 @@
+"""Top-k gating network.
+
+The gate is a single linear layer over the token embedding producing a
+logit per expert (paper Sec. IV-A: "The gating network routes tokens to
+experts based on top-k algorithm. In this paper, we set k to 1").  We
+implement general k but default to 1; the paper's observation that
+"increasing k is an equivalence of increasing B" is validated by a test.
+
+Routing decisions (argmax indices) are non-differentiable data; gradient
+flows through the gate *probabilities* used to scale combined outputs,
+plus the Switch-Transformer auxiliary load-balancing loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.utils.seeding import seeded_rng
+
+
+@dataclass
+class GateDecision:
+    """Routing outcome for one rank's batch of B tokens.
+
+    Attributes
+    ----------
+    expert_indices:
+        ``(B, k)`` int array of chosen expert ids (global expert space).
+    gate_probs:
+        ``(B, k)`` Tensor of the softmax probabilities of the chosen
+        experts — differentiable, used to weight the combine.
+    aux_loss:
+        Scalar Tensor: Switch load-balancing loss ``E * sum(f_e * p_e)``.
+    """
+
+    expert_indices: np.ndarray
+    gate_probs: Tensor
+    aux_loss: Tensor
+
+
+class TopKGate:
+    """Linear gating network ``logits = x @ Wg`` with top-k selection."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_experts: int,
+        top_k: int = 1,
+        seed: int | None = None,
+        dtype=np.float64,
+    ) -> None:
+        if not 1 <= top_k <= num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        self.d_model = d_model
+        self.num_experts = num_experts
+        self.top_k = top_k
+        rng = seeded_rng(seed)
+        self.wg = Tensor(
+            rng.standard_normal((d_model, num_experts)).astype(dtype)
+            / np.sqrt(d_model),
+            requires_grad=True,
+            name="wg",
+        )
+
+    def parameters(self) -> list[Tensor]:
+        return [self.wg]
+
+    @property
+    def num_params(self) -> int:
+        return self.wg.size
+
+    def zero_grad(self) -> None:
+        self.wg.zero_grad()
+
+    def forward(self, x: Tensor) -> GateDecision:
+        """Route a batch ``x`` of shape ``(B, M)``."""
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"expected (B, {self.d_model}) input, got {x.shape}")
+        b = x.shape[0]
+        logits = F.matmul(x, self.wg)
+        probs = F.softmax(logits, axis=-1)
+
+        # Top-k selection on data (no gradient through argpartition).
+        raw = probs.data
+        if self.top_k == 1:
+            idx = raw.argmax(axis=-1)[:, None]
+        else:
+            part = np.argpartition(raw, -self.top_k, axis=-1)[:, -self.top_k :]
+            order = np.argsort(
+                np.take_along_axis(raw, part, axis=-1), axis=-1
+            )[:, ::-1]
+            idx = np.take_along_axis(part, order, axis=-1)
+
+        rows = np.repeat(np.arange(b), self.top_k)
+        flat = (rows * self.num_experts + idx.reshape(-1)).astype(np.intp)
+        chosen = F.take_rows(F.reshape(probs, (b * self.num_experts,)), flat)
+        gate_probs = F.reshape(chosen, (b, self.top_k))
+
+        aux = self._aux_loss(probs, idx)
+        return GateDecision(expert_indices=idx, gate_probs=gate_probs, aux_loss=aux)
+
+    __call__ = forward
+
+    def _aux_loss(self, probs: Tensor, idx: np.ndarray) -> Tensor:
+        """Switch aux loss: E * sum_e f_e * P_e.
+
+        ``f_e`` is the fraction of tokens whose *first* choice is expert e
+        (data, no grad); ``P_e`` the mean gate probability (differentiable).
+        """
+        b = probs.shape[0]
+        counts = np.bincount(idx[:, 0], minlength=self.num_experts).astype(
+            probs.data.dtype
+        )
+        f = Tensor(counts / b)
+        p_mean = F.mean(probs, axis=0)
+        return F.sum_(F.mul(f, p_mean)) * float(self.num_experts)

@@ -1,0 +1,29 @@
+"""Hardware models for the timing layer.
+
+* :mod:`repro.hardware.device` — per-GPU capability numbers (GEMM
+  throughput, HBM capacity, PCIe bandwidth).
+* :mod:`repro.hardware.topology` — cluster interconnect graph (NVLink
+  within a node, InfiniBand between nodes) built on networkx.
+* :mod:`repro.hardware.interference` — the Fig. 3 stream-interference
+  model: slowdown factors mu (comm), sigma (comp), eta (memcpy) as a
+  function of which other stream types are concurrently active.
+"""
+
+from repro.hardware.device import DeviceSpec, A100_SXM_40GB, V100_SXM_32GB
+from repro.hardware.topology import ClusterTopology, LinkKind
+from repro.hardware.interference import (
+    InterferenceModel,
+    StreamKind,
+    PAPER_INTERFERENCE,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "A100_SXM_40GB",
+    "V100_SXM_32GB",
+    "ClusterTopology",
+    "LinkKind",
+    "InterferenceModel",
+    "StreamKind",
+    "PAPER_INTERFERENCE",
+]

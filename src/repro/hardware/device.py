@@ -1,0 +1,83 @@
+"""Per-device capability model.
+
+The timing layer needs only three numbers per device, exactly the
+quantities in the paper's performance model (Sec. III-E):
+
+* ``W_comp`` — sustained GEMM throughput (FLOP/s),
+* ``W_comm`` — network injection bandwidth (bytes/s, topology-capped),
+* ``W_mem``  — host<->device copy bandwidth over PCIe (bytes/s).
+
+plus the HBM capacity for allocator OOM checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GIB, GBPS, TFLOPS
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capability numbers for one accelerator.
+
+    ``gemm_efficiency`` discounts the tensor-core peak to an achievable
+    sustained rate on MoE-sized GEMMs (B/n x M x H); 0.4-0.5 is typical
+    for A100 at these shapes.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_gemm_flops: float
+    gemm_efficiency: float
+    hbm_bandwidth: float  # bytes/s, bounds activation-bound (non-GEMM) ops
+    pcie_bandwidth: float  # bytes/s per direction, for CPU offload
+    kernel_launch_overhead: float = 5e-6  # seconds per kernel launch
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+        if min(self.memory_bytes, self.peak_gemm_flops, self.hbm_bandwidth,
+               self.pcie_bandwidth) <= 0:
+            raise ValueError("device capabilities must be positive")
+
+    @property
+    def sustained_gemm_flops(self) -> float:
+        """W_comp: achievable GEMM rate in FLOP/s."""
+        return self.peak_gemm_flops * self.gemm_efficiency
+
+    def gemm_time(self, flops: float, num_kernels: int = 1) -> float:
+        """Time to execute ``flops`` of GEMM work plus launch overhead.
+
+        The launch term is what makes very fine pipeline granularity lose
+        (paper Sec. II: "very fine-grained pipelining incurs significant
+        overhead because of frequent kernel launches").
+        """
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.sustained_gemm_flops + num_kernels * self.kernel_launch_overhead
+
+    def memcpy_time(self, nbytes: float, num_ops: int = 1) -> float:
+        """Host<->device transfer time over PCIe."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.pcie_bandwidth + num_ops * self.kernel_launch_overhead
+
+
+A100_SXM_40GB = DeviceSpec(
+    name="A100-SXM4-40GB",
+    memory_bytes=40 * GIB,
+    peak_gemm_flops=312 * TFLOPS,  # bf16 tensor core
+    gemm_efficiency=0.45,
+    hbm_bandwidth=1555 * GBPS,
+    pcie_bandwidth=32 * GBPS,  # PCIe gen4 x16 per GPU on DGX A100
+)
+
+V100_SXM_32GB = DeviceSpec(
+    name="V100-SXM2-32GB",
+    memory_bytes=32 * GIB,
+    peak_gemm_flops=125 * TFLOPS,
+    gemm_efficiency=0.40,
+    hbm_bandwidth=900 * GBPS,
+    pcie_bandwidth=32 * GBPS,
+)

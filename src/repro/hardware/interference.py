@@ -1,0 +1,107 @@
+"""Stream-interference model (paper Fig. 3 and Sec. II-C).
+
+When compute, NCCL communication, and PCIe memcpy kernels run in
+concurrent CUDA streams they contend for shared resources (SMs, memory
+bandwidth).  The paper measures slowdown factors:
+
+* ``sigma_x`` — relative compute speed when stream ``x`` also runs,
+* ``mu_x``    — relative communication speed,
+* ``eta_x``   — relative memcpy speed,
+
+with ``x in {comp, comm, mem, all}``.  Fig. 3's measured grid (rows are
+the victim operation, columns the interferer)::
+
+            comm   comp   mem    all
+    comm    1      0.72   0.78   0.71
+    comp    0.96   1      1      0.94
+    mem     0.8    0.98   1      0.71
+
+The paper then simplifies: sigma = 1 always (compute barely affected), and
+uses mu_all/eta_all whenever memory copies participate (Table II).
+``InterferenceModel`` exposes both the full grid and those Table II
+shortcuts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping
+
+
+class StreamKind(enum.Enum):
+    COMP = "comp"
+    COMM = "comm"
+    MEM = "mem"
+
+
+# Fig. 3 values keyed by (victim, interferer-label).
+_FIG3: dict[tuple[str, str], float] = {
+    ("comm", "comm"): 1.0,
+    ("comm", "comp"): 0.72,
+    ("comm", "mem"): 0.78,
+    ("comm", "all"): 0.71,
+    ("comp", "comm"): 0.96,
+    ("comp", "comp"): 1.0,
+    ("comp", "mem"): 1.0,
+    ("comp", "all"): 0.94,
+    ("mem", "comm"): 0.8,
+    ("mem", "comp"): 0.98,
+    ("mem", "mem"): 1.0,
+    ("mem", "all"): 0.71,
+}
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Maps a set of concurrently active streams to per-stream slowdowns.
+
+    ``table`` uses Fig. 3 semantics.  :meth:`slowdown` composes pairwise
+    factors multiplicatively except for the measured three-way "all"
+    entry, which is used directly when all three stream kinds are active
+    (matching how the paper applies mu_all / eta_all in Table II).
+    """
+
+    table: Mapping[tuple[str, str], float] = field(
+        default_factory=lambda: dict(_FIG3)
+    )
+
+    def factor(self, victim: StreamKind, interferer: str) -> float:
+        try:
+            return self.table[(victim.value, interferer)]
+        except KeyError:
+            raise KeyError(
+                f"no interference entry for victim={victim.value} "
+                f"interferer={interferer}"
+            ) from None
+
+    def slowdown(self, victim: StreamKind, active: FrozenSet[StreamKind] | set) -> float:
+        """Relative speed of ``victim`` given the set of active streams.
+
+        ``active`` should include the victim itself; other members are
+        the interferers.
+        """
+        others = {s for s in active if s is not victim}
+        if not others:
+            return 1.0
+        if len(others) >= 2:
+            return self.factor(victim, "all")
+        (other,) = others
+        return self.factor(victim, other.value)
+
+    # -- Table II shortcuts ---------------------------------------------------
+    def mu(self, uses_mem_stream: bool) -> float:
+        """Communication slowdown: mu_all when offload copies run, else mu_comp."""
+        return self.factor(StreamKind.COMM, "all" if uses_mem_stream else "comp")
+
+    def eta(self, uses_mem_stream: bool) -> float:
+        """Memcpy slowdown: eta_all when comm+comp also run (only then defined)."""
+        return self.factor(StreamKind.MEM, "all") if uses_mem_stream else 1.0
+
+    @property
+    def sigma(self) -> float:
+        """Compute slowdown; paper sets sigma = 1 (Sec. II-C observation 2)."""
+        return 1.0
+
+
+PAPER_INTERFERENCE = InterferenceModel()

@@ -1,0 +1,129 @@
+"""Cluster interconnect topology.
+
+Builds a networkx graph of GPUs and switches: every GPU in a node
+attaches to an NVSwitch vertex (NVLink bandwidth), nodes attach to an
+InfiniBand fabric vertex (HDR bandwidth shared by the node's GPUs).  The
+All-to-All cost model queries :meth:`ClusterTopology.alltoall_bandwidth`
+— the effective per-GPU injection rate once the inter-node bottleneck is
+accounted for, which is what makes communication dominate at large N
+(paper Fig. 13's N-scaling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.config import ClusterSpec
+from repro.utils.units import GBPS, GBITPS
+
+
+class LinkKind(enum.Enum):
+    NVLINK = "nvlink"
+    INFINIBAND = "infiniband"
+
+
+@dataclass(frozen=True)
+class GpuId:
+    """Stable identity of a GPU in the cluster: (node, local index)."""
+
+    node: int
+    local: int
+
+    def global_rank(self, gpus_per_node: int) -> int:
+        return self.node * gpus_per_node + self.local
+
+
+class ClusterTopology:
+    """Hierarchical DGX-style topology derived from a :class:`ClusterSpec`."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.graph = nx.Graph()
+        self._build()
+
+    def _build(self) -> None:
+        g = self.graph
+        g.add_node("ib-fabric", kind="switch")
+        for node in range(self.spec.num_nodes):
+            switch = f"nvswitch:{node}"
+            g.add_node(switch, kind="switch")
+            g.add_edge(
+                switch,
+                "ib-fabric",
+                kind=LinkKind.INFINIBAND,
+                bandwidth=self.spec.node_ib_gbitps * GBITPS,
+            )
+            for local in range(self.spec.gpus_per_node):
+                gpu = self.gpu_name(node, local)
+                g.add_node(gpu, kind="gpu", node=node, local=local)
+                g.add_edge(
+                    gpu,
+                    switch,
+                    kind=LinkKind.NVLINK,
+                    bandwidth=self.spec.nvlink_gbps * GBPS,
+                )
+
+    @staticmethod
+    def gpu_name(node: int, local: int) -> str:
+        return f"gpu:{node}.{local}"
+
+    def rank_to_gpu(self, rank: int) -> GpuId:
+        if not 0 <= rank < self.spec.world_size:
+            raise IndexError(f"rank {rank} out of range for world {self.spec.world_size}")
+        return GpuId(rank // self.spec.gpus_per_node, rank % self.spec.gpus_per_node)
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.rank_to_gpu(rank_a).node == self.rank_to_gpu(rank_b).node
+
+    # -- bandwidth queries ---------------------------------------------------
+    def path_bandwidth(self, rank_a: int, rank_b: int) -> float:
+        """Min link bandwidth on the path between two GPUs (bytes/s)."""
+        a, b = self.rank_to_gpu(rank_a), self.rank_to_gpu(rank_b)
+        src = self.gpu_name(a.node, a.local)
+        dst = self.gpu_name(b.node, b.local)
+        path = nx.shortest_path(self.graph, src, dst)
+        return min(
+            self.graph.edges[u, v]["bandwidth"] for u, v in zip(path, path[1:])
+        )
+
+    def p2p_bandwidth(self, rank_a: int, rank_b: int) -> float:
+        """Point-to-point bandwidth; NVLink intra-node, IB inter-node.
+
+        A single transfer rides one NIC, so inter-node pairs are capped
+        at the per-NIC rate even though the node aggregates several NICs.
+        """
+        if rank_a == rank_b:
+            raise ValueError("p2p bandwidth undefined for a rank with itself")
+        bw = self.path_bandwidth(rank_a, rank_b)
+        if not self.same_node(rank_a, rank_b):
+            bw = min(bw, self.spec.ib_gbitps * GBITPS)
+        return bw
+
+    def alltoall_bandwidth(self, world_size: int | None = None) -> float:
+        """Effective per-GPU All-to-All injection bandwidth (bytes/s).
+
+        In a symmetric All-to-All of total volume V per GPU, a fraction
+        (N - G)/N of each GPU's traffic crosses the IB fabric, where G is
+        gpus_per_node; the node's IB link is shared by its G GPUs.  The
+        achievable rate is the min of the NVLink rate and the scaled IB
+        share.  With one node the IB term vanishes (pure NVLink).
+        """
+        spec = self.spec
+        n = world_size if world_size is not None else spec.world_size
+        if not 1 <= n <= spec.world_size:
+            raise ValueError(f"world_size must be in [1, {spec.world_size}]")
+        g = min(spec.gpus_per_node, n)
+        nvlink = spec.nvlink_gbps * GBPS * spec.nccl_efficiency_intra
+        if n <= spec.gpus_per_node:
+            return nvlink
+        cross_fraction = (n - g) / n
+        ib_per_gpu = (spec.node_ib_gbitps * GBITPS) / g
+        ib_limited = ib_per_gpu / cross_fraction * spec.nccl_efficiency_inter
+        return min(nvlink, ib_limited)
+
+    def bisection_bandwidth(self) -> float:
+        """Aggregate IB bisection bandwidth of the cluster (bytes/s)."""
+        return self.spec.num_nodes * self.spec.node_ib_gbitps * GBITPS / 2

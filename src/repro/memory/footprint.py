@@ -1,0 +1,148 @@
+"""Closed-form memory footprint model — paper Eq. 1-6.
+
+All formulas count *elements*; multiply by ``bytes_per_elem`` (4 for the
+fp32 accounting the paper uses) to get bytes.  Notation per Table I:
+M = d_model, H = d_hidden, E = experts, B = tokens per device, n = number
+of pipeline partitions.
+
+Eq. 1   M_ms      = 4 * (E*M + 2*H*M)          model states (Adam: param,
+                                                grad, momentum, variance)
+Eq. 2   M_act     = 4*B*M + B*H                 TI,TDI,TDO,TO (B,M) + TM (B,H)
+Eq. 3   M_buf     = B*M + B*H                   peak adjacent grad pair
+Eq. 4   M^pipe_buf = M^pipe_act = 4*B*M + B*H   pipelining alone saves nothing
+Eq. 5   dM_buf = dM_act = B*(2M(n-2)/n + H(n-1)/n)   reuse savings
+Eq. 6   phi = (dM_act + dM_buf) / (M_ms + M^pipe_act + M^pipe_buf)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BYTES_PER_ELEM, MoELayerSpec
+
+
+def model_states_elems(spec: MoELayerSpec) -> int:
+    """Eq. 1: gate (E*M) + expert (2*H*M) parameters, x4 for Adam states."""
+    return 4 * (spec.gate_params + spec.expert_params)
+
+
+def activations_elems(spec: MoELayerSpec, batch: int) -> int:
+    """Eq. 2: four (B, M) tensors (TI, TDI, TDO, TO) plus TM of (B, H)."""
+    _check_batch(batch)
+    return 4 * batch * spec.d_model + batch * spec.d_hidden
+
+
+def buffers_elems(spec: MoELayerSpec, batch: int) -> int:
+    """Eq. 3: peak temporary-buffer pair in sequential backward."""
+    _check_batch(batch)
+    return batch * spec.d_model + batch * spec.d_hidden
+
+
+def pipeline_activations_elems(spec: MoELayerSpec, batch: int) -> int:
+    """Eq. 4: pipeline parallelism alone does not shrink activations."""
+    return activations_elems(spec, batch)
+
+
+def pipeline_buffers_elems(spec: MoELayerSpec, batch: int) -> int:
+    """Eq. 4: with pipelining the temp-buffer peak grows to match M_act.
+
+    Gradient chunks of all in-flight partitions coexist, so the paper
+    sets M^pipe_buf = M^pipe_act.
+    """
+    return activations_elems(spec, batch)
+
+
+def reuse_savings_elems(spec: MoELayerSpec, batch: int, n: int) -> int:
+    """Eq. 5: elements saved in *each* of activations and temp buffers.
+
+    TDI and TDO shrink from (B, M) to two (B/n, M) ring slots each; TM
+    shrinks from (B, H) to one (B/n, H) slot.  Requires n >= 2 (with
+    n = 1 there is nothing to share and the formula would go negative).
+    """
+    _check_batch(batch)
+    if n < 2:
+        return 0
+    m, h = spec.d_model, spec.d_hidden
+    return int(batch * (2 * m * (n - 2) / n + h * (n - 1) / n))
+
+
+def memory_saving_ratio(spec: MoELayerSpec, batch: int, n: int) -> float:
+    """Eq. 6: phi, the fraction of the pipelined footprint that reuse removes."""
+    delta = reuse_savings_elems(spec, batch, n)
+    denom = (
+        model_states_elems(spec)
+        + pipeline_activations_elems(spec, batch)
+        + pipeline_buffers_elems(spec, batch)
+    )
+    return 2 * delta / denom
+
+
+def _check_batch(batch: int) -> None:
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Byte-level footprint of one MoE layer on one device.
+
+    ``world_size`` matters only through expert placement: each device
+    stores E / world experts' model states (expert parallelism shards
+    them, Fig. 1), while the gate is replicated.
+    """
+
+    spec: MoELayerSpec
+    world_size: int = 1
+    bytes_per_elem: int = BYTES_PER_ELEM
+
+    def __post_init__(self) -> None:
+        if self.spec.num_experts % self.world_size:
+            raise ValueError(
+                f"num_experts {self.spec.num_experts} must divide evenly across "
+                f"world_size {self.world_size}"
+            )
+
+    @property
+    def experts_per_rank(self) -> int:
+        return self.spec.num_experts // self.world_size
+
+    def model_states_bytes(self) -> int:
+        """Per-device model states: replicated gate + local experts, x4 (Adam)."""
+        local = self.spec.gate_params + self.experts_per_rank * self.spec.expert_params
+        return 4 * local * self.bytes_per_elem
+
+    def activations_bytes(self, batch: int) -> int:
+        return activations_elems(self.spec, batch) * self.bytes_per_elem
+
+    def buffers_bytes(self, batch: int) -> int:
+        return buffers_elems(self.spec, batch) * self.bytes_per_elem
+
+    def total_bytes(self, batch: int, pipelined: bool = False, reuse_n: int = 0) -> int:
+        """Peak per-device footprint under a given execution mode."""
+        states = self.model_states_bytes()
+        act = self.activations_bytes(batch)
+        buf = (
+            self.activations_bytes(batch)  # Eq. 4 when pipelined
+            if pipelined
+            else self.buffers_bytes(batch)
+        )
+        saved = 0
+        if reuse_n >= 2:
+            if not pipelined:
+                raise ValueError("memory reuse requires pipelined execution")
+            saved = 2 * reuse_savings_elems(self.spec, batch, reuse_n) * self.bytes_per_elem
+        return states + act + buf - saved
+
+    def breakdown(self, batch: int) -> dict[str, int]:
+        """Fig. 2 bars: bytes per category in plain expert parallelism."""
+        return {
+            "model_states": self.model_states_bytes(),
+            "activations": self.activations_bytes(batch),
+            "temporary_buffers": self.buffers_bytes(batch),
+        }
+
+    def saving_ratio(self, batch: int, n: int) -> float:
+        """Eq. 6 on the per-device sharded footprint."""
+        delta = reuse_savings_elems(self.spec, batch, n) * self.bytes_per_elem
+        denom = self.model_states_bytes() + 2 * self.activations_bytes(batch)
+        return 2 * delta / denom

@@ -1,0 +1,116 @@
+"""Memory reusing strategies — paper Table II.
+
+Each strategy chooses how the overwritten activations TDI and TM are
+restored in the backward pass:
+
+=========  =========  ===========  ==========================================
+strategy   TDI        TM           character
+=========  =========  ===========  ==========================================
+none       kept       kept         pipeline without reuse (baseline)
+S1         offload    offload      I/O bound: everything rides PCIe
+S2         re-comm    offload      extra All-to-All, TM rides PCIe
+S3         offload    recompute    TDI rides PCIe, extra GEMM for TM
+S4         re-comm    recompute    compute/comm bound: no PCIe at all
+=========  =========  ===========  ==========================================
+
+``q_fw``/``q_bw`` are the workload vectors [q_comp, q_comm, q_mem] of
+Eq. 10 for the H = 4M case tabulated in the paper; units are one GEMM,
+one All-to-All of (b, M), and one PCIe copy of (b, M) respectively
+(copying TM counts as H/M = 4 memory units).  For general H/M ratios use
+:meth:`Strategy.workload`, which reduces to the tabulated values when
+H = 4M (verified by a test).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RestoreMethod(enum.Enum):
+    KEEP = "keep"
+    OFFLOAD = "offload"
+    RECOMM = "recomm"  # re-run the dispatch All-to-All from TI
+    RECOMPUTE = "recompute"  # recompute TM = TDI @ W1 + b1
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One row of Table II."""
+
+    name: str
+    tdi: RestoreMethod
+    tm: RestoreMethod
+    q_fw: tuple[float, float, float]
+    q_bw: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if self.tdi in (RestoreMethod.RECOMPUTE,):
+            raise ValueError("TDI cannot be recomputed (it is a comm product)")
+        if self.tm in (RestoreMethod.RECOMM,):
+            raise ValueError("TM cannot be re-communicated (it is a compute product)")
+
+    @property
+    def uses_mem_stream(self) -> bool:
+        """True when PCIe copies run concurrently (the mu_all / eta_all rows)."""
+        return RestoreMethod.OFFLOAD in (self.tdi, self.tm)
+
+    @property
+    def reuses_memory(self) -> bool:
+        return self.name != "none"
+
+    def workload(self, h_over_m: float) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        """(Q_fw, Q_bw) for an arbitrary H/M ratio.
+
+        Derivation (counts per micro-batch):
+
+        * forward always has 2 GEMMs and 2 All-to-Alls;
+        * backward always has 4 GEMMs (two per linear layer: dW and dX)
+          and 2 All-to-Alls (gradients of S and R);
+        * offloading TDI adds 1 mem unit each way; offloading TM adds
+          ``h_over_m`` units each way;
+        * re-communicating TDI adds 1 backward comm unit;
+        * recomputing TM adds 1 backward GEMM.
+        """
+        r = float(h_over_m)
+        fw_mem = (1.0 if self.tdi is RestoreMethod.OFFLOAD else 0.0) + (
+            r if self.tm is RestoreMethod.OFFLOAD else 0.0
+        )
+        bw_mem = fw_mem
+        bw_comm = 2.0 + (1.0 if self.tdi is RestoreMethod.RECOMM else 0.0)
+        bw_comp = 4.0 + (1.0 if self.tm is RestoreMethod.RECOMPUTE else 0.0)
+        return (2.0, 2.0, fw_mem), (bw_comp, bw_comm, bw_mem)
+
+
+NONE = Strategy(
+    "none", RestoreMethod.KEEP, RestoreMethod.KEEP, (2, 2, 0), (4, 2, 0)
+)
+S1 = Strategy(
+    "S1", RestoreMethod.OFFLOAD, RestoreMethod.OFFLOAD, (2, 2, 5), (4, 2, 5)
+)
+S2 = Strategy(
+    "S2", RestoreMethod.RECOMM, RestoreMethod.OFFLOAD, (2, 2, 4), (4, 3, 4)
+)
+S3 = Strategy(
+    "S3", RestoreMethod.OFFLOAD, RestoreMethod.RECOMPUTE, (2, 2, 1), (5, 2, 1)
+)
+S4 = Strategy(
+    "S4", RestoreMethod.RECOMM, RestoreMethod.RECOMPUTE, (2, 2, 0), (5, 3, 0)
+)
+
+STRATEGIES: dict[str, Strategy] = {s.name: s for s in (NONE, S1, S2, S3, S4)}
+
+
+def strategy_names(reuse_only: bool = False) -> list[str]:
+    """Strategy names in Table II order; ``reuse_only`` drops "none"."""
+    names = ["none", "S1", "S2", "S3", "S4"]
+    return names[1:] if reuse_only else names
+
+
+def get_strategy(name: str) -> Strategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {list(STRATEGIES)}"
+        ) from None

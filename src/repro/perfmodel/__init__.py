@@ -1,0 +1,21 @@
+"""Performance model on memory reusing strategies (paper Sec. III-E).
+
+Implements Eq. 7-10 literally: workload vectors Q over the three stream
+types, hardware speeds (W_comp, W_comm, W_mem), interference factors
+(mu, sigma, eta), and the bottleneck-stream cost
+``C = max(Q . [1, alpha/mu, beta/eta]) / W_comp``.  The selector picks
+the strategy with the lowest modeled cost subject to device memory
+capacity — "considering both the hardware capacities and runtime
+characteristics" (Sec. V-G).
+"""
+
+from repro.perfmodel.cost import HardwareRates, PerfModel, StageCost
+from repro.perfmodel.selector import StrategySelector, SelectionResult
+
+__all__ = [
+    "HardwareRates",
+    "PerfModel",
+    "StageCost",
+    "StrategySelector",
+    "SelectionResult",
+]

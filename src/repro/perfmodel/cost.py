@@ -1,0 +1,153 @@
+"""Eq. 7-10: the closed-form cost of one pipelined micro-batch stage.
+
+Definitions (per micro-batch of b = B/n tokens):
+
+* Eq. 7  v0_comp = FLOPs of one GEMM            = 2 * b * M * H
+* Eq. 8  v0_comm = bytes of one All-to-All      = b * M * bytes
+* Eq. 9  v0_mem  = bytes of one TDI PCIe copy   = b * M * bytes
+  (copying TM costs H/M of these units — "four times more data" when
+  H = 4M, the note under Eq. 9)
+
+* Eq. 10 C = max( q1 v_comp / (sigma W_comp),
+                  q2 v_comm / (mu    W_comm),
+                  q3 v_mem  / (eta   W_mem ) )
+
+The per-iteration cost of a strategy is n * (C(Q_fw) + C(Q_bw)) with the
+mu/eta row of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.cost import NcclCostModel
+from repro.config import MoELayerSpec
+from repro.hardware.device import DeviceSpec
+from repro.hardware.interference import InterferenceModel, PAPER_INTERFERENCE
+from repro.memory.strategies import Strategy
+from repro.pipeline.schedule import TIMING_BYTES_PER_ELEM
+
+
+@dataclass(frozen=True)
+class HardwareRates:
+    """W_comp (FLOP/s), W_comm and W_mem (bytes/s) of Sec. II-C."""
+
+    w_comp: float
+    w_comm: float
+    w_mem: float
+
+    def __post_init__(self) -> None:
+        if min(self.w_comp, self.w_comm, self.w_mem) <= 0:
+            raise ValueError("hardware rates must be positive")
+
+    @classmethod
+    def from_cluster(cls, device: DeviceSpec, comm: NcclCostModel) -> "HardwareRates":
+        """Derive rates from the device spec and cluster topology.
+
+        W_comm is the effective All-to-All injection rate scaled by the
+        cross-traffic fraction so that time = bytes / W_comm matches the
+        collective cost model's bandwidth term.
+        """
+        w = comm.effective_world
+        if w > 1:
+            cross = (w - 1) / w
+            w_comm = comm.topology.alltoall_bandwidth(w) / cross
+        else:
+            w_comm = float("inf")
+        return cls(
+            w_comp=device.sustained_gemm_flops,
+            w_comm=w_comm,
+            w_mem=device.pcie_bandwidth,
+        )
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-stream times and the Eq. 10 max for one pipeline stage."""
+
+    comp: float
+    comm: float
+    mem: float
+
+    @property
+    def total(self) -> float:
+        return max(self.comp, self.comm, self.mem)
+
+    @property
+    def bottleneck(self) -> str:
+        return max(
+            (("comp", self.comp), ("comm", self.comm), ("mem", self.mem)),
+            key=lambda kv: kv[1],
+        )[0]
+
+
+class PerfModel:
+    """Eq. 10 evaluator for one (model, batch, granularity) point."""
+
+    def __init__(
+        self,
+        spec: MoELayerSpec,
+        rates: HardwareRates,
+        interference: InterferenceModel | None = None,
+        bytes_per_elem: int = TIMING_BYTES_PER_ELEM,
+        use_paper_q: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.rates = rates
+        self.interference = interference or PAPER_INTERFERENCE
+        self.bytes_per_elem = bytes_per_elem
+        #: Use Table II's tabulated Q (exact paper reproduction, assumes
+        #: H = 4M) or the generalized Strategy.workload() for any H/M.
+        self.use_paper_q = use_paper_q
+
+    # -- Eq. 7-9 ------------------------------------------------------------
+    def v_comp(self, b: int) -> float:
+        return 2.0 * b * self.spec.d_model * self.spec.d_hidden
+
+    def v_comm(self, b: int) -> float:
+        return float(b * self.spec.d_model * self.bytes_per_elem)
+
+    def v_mem(self, b: int) -> float:
+        return float(b * self.spec.d_model * self.bytes_per_elem)
+
+    # -- Eq. 10 --------------------------------------------------------------
+    def stage_cost(
+        self, q: tuple[float, float, float], b: int, mu: float, eta: float
+    ) -> StageCost:
+        q1, q2, q3 = q
+        sigma = self.interference.sigma
+        return StageCost(
+            comp=q1 * self.v_comp(b) / (sigma * self.rates.w_comp),
+            comm=q2 * self.v_comm(b) / (mu * self.rates.w_comm),
+            mem=q3 * self.v_mem(b) / (eta * self.rates.w_mem),
+        )
+
+    def strategy_queues(
+        self, strategy: Strategy
+    ) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        if self.use_paper_q:
+            return strategy.q_fw, strategy.q_bw
+        return strategy.workload(self.spec.d_hidden / self.spec.d_model)
+
+    def iteration_cost(self, strategy: Strategy, batch: int, n: int) -> float:
+        """Modeled fw+bw time of the whole batch at granularity n."""
+        if batch < 1 or n < 1:
+            raise ValueError("batch and n must be >= 1")
+        b = -(-batch // n)  # ceil: padded final micro-batch
+        mu = self.interference.mu(strategy.uses_mem_stream)
+        eta = self.interference.eta(strategy.uses_mem_stream)
+        q_fw, q_bw = self.strategy_queues(strategy)
+        fw = self.stage_cost(q_fw, b, mu, eta).total
+        bw = self.stage_cost(q_bw, b, mu, eta).total
+        return n * (fw + bw)
+
+    def breakdown(self, strategy: Strategy, batch: int, n: int) -> dict[str, StageCost]:
+        """Per-phase stream costs, for analysis output."""
+        b = -(-batch // n)
+        mu = self.interference.mu(strategy.uses_mem_stream)
+        eta = self.interference.eta(strategy.uses_mem_stream)
+        q_fw, q_bw = self.strategy_queues(strategy)
+        return {
+            "forward": self.stage_cost(q_fw, b, mu, eta),
+            "backward": self.stage_cost(q_bw, b, mu, eta),
+        }

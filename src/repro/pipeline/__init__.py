@@ -1,0 +1,31 @@
+"""Adaptive pipeline parallelism (paper Sec. III-B/C).
+
+* :mod:`repro.pipeline.partition` — micro-batch partitioning: split-by-B
+  (MPipeMoE, Fig. 5b) and split-by-N (FasterMoE, Fig. 5a).
+* :mod:`repro.pipeline.executor` — functional pipelined execution of the
+  S -> C -> R middle section with memory-reuse strategies and explicit
+  backward (restoration via offload / re-communication / recompute).
+* :mod:`repro.pipeline.schedule` — Op-DAG construction for the timing
+  simulator: forward and backward timelines of Fig. 4(b)/Fig. 7.
+* :mod:`repro.pipeline.granularity` — Algorithm 1, the online adaptive
+  granularity configuration.
+"""
+
+from repro.pipeline.partition import split_capacity, partition_slices, split_by_ranks
+from repro.pipeline.executor import PipelinedMoEMiddle, MiddleContext, reference_middle
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.pipeline.granularity import GranularitySearcher, RangeSet
+
+__all__ = [
+    "split_capacity",
+    "partition_slices",
+    "split_by_ranks",
+    "PipelinedMoEMiddle",
+    "MiddleContext",
+    "reference_middle",
+    "MoEStageCosts",
+    "build_timeline",
+    "timeline_makespan",
+    "GranularitySearcher",
+    "RangeSet",
+]

@@ -1,0 +1,52 @@
+"""Micro-batch partitioning (paper Fig. 5).
+
+MPipeMoE splits the dispatch buffer along the *token* (capacity) axis —
+every partition still spans all destination ranks, so each partition is
+one fused fine-grained All-to-All (Fig. 5b).  FasterMoE splits along the
+*rank* axis, decomposing the All-to-All into point-to-point exchanges
+(Fig. 5a); we implement it for the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_capacity(capacity: int, n: int) -> int:
+    """Per-partition capacity chunk; requires n | capacity.
+
+    The MoE layer pads capacity up to a multiple of the partition count
+    before dispatch so this always holds at call sites.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if capacity % n:
+        raise ValueError(f"capacity {capacity} not divisible by n={n}")
+    return capacity // n
+
+
+def pad_capacity(capacity: int, n: int) -> int:
+    """Round capacity up to a multiple of n (adds only zero padding slots)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (capacity + n - 1) // n * n
+
+
+def partition_slices(capacity: int, n: int) -> list[slice]:
+    """Slices along the capacity axis for the n micro-batches (split-by-B)."""
+    chunk = split_capacity(capacity, n)
+    return [slice(j * chunk, (j + 1) * chunk) for j in range(n)]
+
+
+def split_by_ranks(world_size: int, n: int) -> list[np.ndarray]:
+    """FasterMoE fashion: partition the destination-rank axis into n groups.
+
+    Each group's exchange degenerates into point-to-point sends (the
+    partition only involves a subset of peers), which is why FasterMoE
+    cannot use fused NCCL All-to-All (paper Sec. III-B).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n > world_size:
+        raise ValueError(f"cannot split {world_size} ranks into {n} groups")
+    return [g for g in np.array_split(np.arange(world_size), n)]

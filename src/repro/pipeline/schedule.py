@@ -1,0 +1,229 @@
+"""Timing-layer schedule construction (Fig. 4(b) and Fig. 7 timelines).
+
+Builds the Op DAG of one MoE layer's forward(+backward) on a
+representative device — all devices run the symmetric schedule, so one
+device's three lanes (comp / comm / mem) determine the iteration time.
+
+Stage durations come from :class:`MoEStageCosts`; lane interference is
+applied by the :class:`~repro.sim.engine.SimEngine` at run time, which
+is how the paper's mu/eta factors (Table II) enter the makespan.
+
+Comm-lane FIFO order interleaves S and R ops ("we schedule S and R to
+be executed in the alternative manner", Sec. III-D); mem-lane offload
+(D) ops follow their producing stage and backward prefetch (H) ops are
+enqueued ahead of need, matching Fig. 7(b)-(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.cost import NcclCostModel
+from repro.config import MoELayerSpec
+from repro.hardware.device import DeviceSpec
+from repro.hardware.interference import StreamKind
+from repro.memory.strategies import RestoreMethod, Strategy, get_strategy
+from repro.sim.engine import Op, SimEngine, SimResult
+
+#: Activations travel in half precision on the wire/HBM in the paper's setup.
+TIMING_BYTES_PER_ELEM = 2
+
+#: GEMM rows at which a kernel reaches ~50% of its saturated throughput.
+#: Small micro-batches cannot fill the SMs — the cause of the GPU
+#: under-utilisation at small B in Fig. 2 and of the fine-granularity
+#: penalty in Fig. 12.  512 calibrates the adaptive-granularity bands to
+#: the paper's (n=2 below 8k, n=4 to ~22k, n=8 beyond).
+GEMM_SATURATION_ROWS = 512
+
+
+def small_batch_gemm_factor(rows: int) -> float:
+    """Fraction of sustained GEMM throughput achieved with ``rows`` rows."""
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    return rows / (rows + GEMM_SATURATION_ROWS)
+
+
+@dataclass(frozen=True)
+class MoEStageCosts:
+    """Unimpeded per-partition stage durations (seconds).
+
+    ``b = B / n`` tokens per micro-batch; two GEMMs of 2*b*M*H FLOPs each
+    per forward stage (Eq. 7), All-to-Alls of b*M elements (Eq. 8), and
+    PCIe copies of b*M / b*H elements (Eq. 9 and the H/M scaling noted
+    under Table II).
+    """
+
+    s_time: float  # one fine-grained All-to-All (S or R)
+    c_fw_time: float  # expert forward: 2 GEMMs
+    c_bw_time: float  # expert backward: 4 GEMMs
+    recompute_time: float  # 1 GEMM restoring TM
+    offload_tdi_time: float  # PCIe copy of a TDI chunk
+    offload_tm_time: float  # PCIe copy of a TM chunk
+    p2p_s_time: float  # decomposed (FasterMoE-style) exchange of same bytes
+
+    @classmethod
+    def compute(
+        cls,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        device: DeviceSpec,
+        comm: NcclCostModel,
+        bytes_per_elem: int = TIMING_BYTES_PER_ELEM,
+        gemm_derate: float = 1.0,
+    ) -> "MoEStageCosts":
+        """Derive stage costs for per-device batch ``batch`` split n ways.
+
+        ``gemm_derate`` scales compute throughput below the device's
+        sustained rate — used to model baselines that do not hit the
+        tensor-core path (Sec. V-C: "PipeMoE also takes advantage of
+        Tensor Core").
+        """
+        if batch < 1 or n < 1:
+            raise ValueError("batch and n must be >= 1")
+        if not 0 < gemm_derate <= 1:
+            raise ValueError("gemm_derate must be in (0, 1]")
+        b = -(-batch // n)  # ceil: the last micro-batch may be padded
+        m, h = spec.d_model, spec.d_hidden
+        gemm_flops = 2.0 * b * m * h  # one GEMM
+        comm_bytes = float(b * m * bytes_per_elem)
+        rate = gemm_derate * small_batch_gemm_factor(b)
+
+        def gemm_time(num: int) -> float:
+            return device.gemm_time(num * gemm_flops, num_kernels=num) / rate
+
+        return cls(
+            s_time=comm.alltoall_time(comm_bytes),
+            c_fw_time=gemm_time(2),
+            c_bw_time=gemm_time(4),
+            recompute_time=gemm_time(1),
+            offload_tdi_time=device.memcpy_time(b * m * bytes_per_elem),
+            offload_tm_time=device.memcpy_time(b * h * bytes_per_elem),
+            p2p_s_time=comm.decomposed_alltoall_time(comm_bytes),
+        )
+
+
+def build_timeline(
+    costs: MoEStageCosts,
+    n: int,
+    strategy: Strategy | str = "none",
+    include_backward: bool = True,
+    device: int = 0,
+    decomposed_comm: bool = False,
+    sequential: bool = False,
+) -> list[Op]:
+    """Ops for one layer's forward (and backward) at granularity ``n``.
+
+    ``sequential=True`` chains every stage (FastMoE / PipeMoE(n=1)
+    semantics: no overlap even across lanes).  ``decomposed_comm`` prices
+    All-to-Alls with the point-to-point decomposition (FasterMoE).
+    """
+    strat = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    s_time = costs.p2p_s_time if decomposed_comm else costs.s_time
+    ops: list[Op] = []
+
+    def op(name, stream, work, deps=(), tag=""):
+        o = Op(name, device, stream, work, tuple(deps), tag)
+        ops.append(o)
+        return o
+
+    # ---------------------------------------------------------------- forward
+    s_ops, c_ops, r_ops = [], [], []
+    d_ops = []  # device-to-host offloads
+    prev_serial = None
+    for j in range(n):
+        s_deps = []
+        if sequential and prev_serial is not None:
+            s_deps.append(prev_serial)
+        s_j = op(f"S{j}", StreamKind.COMM, s_time, s_deps, tag="S")
+        c_j = op(f"C{j}", StreamKind.COMP, costs.c_fw_time, [s_j], tag="C")
+        r_j = op(f"R{j}", StreamKind.COMM, s_time, [c_j], tag="R")
+        s_ops.append(s_j)
+        c_ops.append(c_j)
+        r_ops.append(r_j)
+        prev_serial = r_j
+        if strat.tdi is RestoreMethod.OFFLOAD:
+            d_ops.append(
+                op(f"D_tdi{j}", StreamKind.MEM, costs.offload_tdi_time, [s_j], tag="D")
+            )
+        if strat.tm is RestoreMethod.OFFLOAD:
+            d_ops.append(
+                op(f"D_tm{j}", StreamKind.MEM, costs.offload_tm_time, [c_j], tag="D")
+            )
+
+    # Comm-lane FIFO: reorder the list so S and R alternate (S0 S1 R0 S2 R1 ...).
+    # Sequential timelines keep natural order — S_{j+1} depends on R_j, so
+    # hoisting it ahead in the lane would deadlock the FIFO.
+    if not sequential:
+        _interleave_comm(ops, s_ops, r_ops)
+
+    if not include_backward:
+        return ops
+
+    # ------------------------------------------------------------- boundary
+    # The loss/classifier between forward and backward of this layer.
+    boundary_deps = list(r_ops) + d_ops
+    loss = op("loss", StreamKind.COMP, 0.0, boundary_deps, tag="X")
+
+    # ---------------------------------------------------------------- backward
+    rb_ops, sb_ops = [], []
+    prev_serial = loss
+    for j in range(n):
+        rb_deps = [loss]
+        if sequential:
+            rb_deps.append(prev_serial)
+        rb_j = op(f"Rb{j}", StreamKind.COMM, s_time, rb_deps, tag="R")
+        cb_deps = [rb_j]
+        # Restore TDI.
+        if strat.tdi is RestoreMethod.OFFLOAD:
+            cb_deps.append(
+                op(f"H_tdi{j}", StreamKind.MEM, costs.offload_tdi_time, [loss], tag="H")
+            )
+        elif strat.tdi is RestoreMethod.RECOMM:
+            cb_deps.append(
+                op(f"S'_{j}", StreamKind.COMM, s_time, [loss], tag="S")
+            )
+        # Restore TM.
+        if strat.tm is RestoreMethod.OFFLOAD:
+            cb_deps.append(
+                op(f"H_tm{j}", StreamKind.MEM, costs.offload_tm_time, [loss], tag="H")
+            )
+        cb_work = costs.c_bw_time + (
+            costs.recompute_time if strat.tm is RestoreMethod.RECOMPUTE else 0.0
+        )
+        cb_j = op(f"Cb{j}", StreamKind.COMP, cb_work, cb_deps, tag="C")
+        sb_j = op(f"Sb{j}", StreamKind.COMM, s_time, [cb_j], tag="S")
+        rb_ops.append(rb_j)
+        sb_ops.append(sb_j)
+        prev_serial = sb_j
+
+    if not sequential:
+        _interleave_comm(ops, rb_ops, sb_ops)
+    return ops
+
+
+def _interleave_comm(ops: list[Op], first: list[Op], second: list[Op]) -> None:
+    """Reorder ``ops`` in place so the comm lane sees S/R alternating.
+
+    Lane order is submission order in the simulator; we pull the comm ops
+    of ``first``/``second`` into the interleaved sequence
+    f0, f1, s0, f2, s1, ..., s{n-1} while leaving non-comm ops where they
+    are (only relative order within a lane matters).
+    """
+    n = len(first)
+    desired: list[Op] = []
+    for j in range(n):
+        desired.append(first[j])
+        if j >= 1:
+            desired.append(second[j - 1])
+    desired.append(second[n - 1])
+    comm_positions = [
+        i for i, o in enumerate(ops) if o in set(first) | set(second)
+    ]
+    for pos, o in zip(comm_positions, desired):
+        ops[pos] = o
+
+
+def timeline_makespan(ops: list[Op], engine: SimEngine | None = None) -> SimResult:
+    """Run a timeline through the interference simulator."""
+    return (engine or SimEngine()).run(ops)

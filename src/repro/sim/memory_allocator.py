@@ -1,0 +1,143 @@
+"""Caching device-memory allocator with exact peak tracking.
+
+Mirrors the behaviour of PyTorch's CUDA caching allocator at the level
+the paper's memory analysis needs (Sec. II-B):
+
+* ``allocate`` rounds requests to 512-byte granularity (CUDA minimum)
+  and first tries to reuse a cached free block of sufficient size
+  (best-fit), only growing *reserved* memory when none fits;
+* ``free`` returns the block to the cache — reserved memory does not
+  shrink, exactly why temporary buffers contribute to peak footprint;
+* the high-water marks of both *allocated* (live) and *reserved*
+  (cached + live) bytes are tracked; the paper's "memory footprint" is
+  the reserved peak.
+
+Used by the functional layer to measure achieved memory-saving ratios
+(Fig. 10) against the theoretical Eq. 6 bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+ALLOC_GRANULARITY = 512
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation would exceed the device capacity."""
+
+
+@dataclass
+class Block:
+    """A reserved block of device memory."""
+
+    size: int
+    handle: int
+
+
+@dataclass
+class AllocatorStats:
+    allocated: int = 0
+    reserved: int = 0
+    peak_allocated: int = 0
+    peak_reserved: int = 0
+    num_allocs: int = 0
+    num_cache_hits: int = 0
+
+
+class CachingAllocator:
+    """Best-fit caching allocator for one simulated device."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.stats = AllocatorStats()
+        self._next_handle = 1
+        self._live: dict[int, Block] = {}
+        # Free cache kept sorted by size for best-fit bisection.
+        self._free_sizes: list[int] = []
+        self._free_blocks: list[Block] = []
+
+    # -- public API ------------------------------------------------------------
+    def allocate(self, nbytes: int, label: str = "") -> int:
+        """Reserve ``nbytes`` and return an opaque handle."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = self._round(nbytes)
+        self.stats.num_allocs += 1
+
+        idx = bisect.bisect_left(self._free_sizes, size)
+        if idx < len(self._free_sizes):
+            # Cache hit: best-fit smallest block >= size.
+            block = self._free_blocks.pop(idx)
+            self._free_sizes.pop(idx)
+            self.stats.num_cache_hits += 1
+        else:
+            if self.capacity is not None and self.stats.reserved + size > self.capacity:
+                # Last resort, like PyTorch: flush the cache and retry.
+                self.empty_cache()
+                if self.stats.reserved + size > self.capacity:
+                    raise OutOfMemoryError(
+                        f"allocation of {size} bytes (label={label!r}) exceeds "
+                        f"capacity {self.capacity} (reserved {self.stats.reserved})"
+                    )
+            block = Block(size=size, handle=self._next_handle)
+            self._next_handle += 1
+            self.stats.reserved += size
+            self.stats.peak_reserved = max(self.stats.peak_reserved, self.stats.reserved)
+
+        self._live[block.handle] = block
+        self.stats.allocated += block.size
+        self.stats.peak_allocated = max(self.stats.peak_allocated, self.stats.allocated)
+        return block.handle
+
+    def free(self, handle: int) -> None:
+        """Release a handle back to the cache."""
+        try:
+            block = self._live.pop(handle)
+        except KeyError:
+            raise KeyError(f"double free or unknown handle {handle}") from None
+        self.stats.allocated -= block.size
+        idx = bisect.bisect_left(self._free_sizes, block.size)
+        self._free_sizes.insert(idx, block.size)
+        self._free_blocks.insert(idx, block)
+
+    def empty_cache(self) -> None:
+        """Return cached (free) blocks to the device, shrinking reserved."""
+        freed = sum(self._free_sizes)
+        self._free_sizes.clear()
+        self._free_blocks.clear()
+        self.stats.reserved -= freed
+
+    def reset_peaks(self) -> None:
+        self.stats.peak_allocated = self.stats.allocated
+        self.stats.peak_reserved = self.stats.reserved
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return self.stats.allocated
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self.stats.reserved
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        return self.stats.peak_allocated
+
+    @property
+    def peak_reserved_bytes(self) -> int:
+        return self.stats.peak_reserved
+
+    @property
+    def num_live_blocks(self) -> int:
+        return len(self._live)
+
+    @staticmethod
+    def _round(nbytes: int) -> int:
+        if nbytes == 0:
+            return ALLOC_GRANULARITY
+        return (nbytes + ALLOC_GRANULARITY - 1) // ALLOC_GRANULARITY * ALLOC_GRANULARITY

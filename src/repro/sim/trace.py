@@ -1,0 +1,56 @@
+"""Chrome-trace (``about:tracing`` / Perfetto) export of simulated timelines.
+
+Each simulated device lane becomes a trace thread; ops become complete
+("X") events.  Handy for eyeballing pipeline overlap — load the JSON in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.sim.engine import OpRecord
+
+_LANE_ORDER = {"comp": 0, "comm": 1, "mem": 2}
+
+
+def to_chrome_trace(records: Iterable[OpRecord], time_scale: float = 1e6) -> str:
+    """Serialize op records to a Chrome-trace JSON string.
+
+    ``time_scale`` converts simulated seconds to trace microseconds.
+    """
+    events = []
+    for rec in records:
+        events.append(
+            {
+                "name": rec.name,
+                "cat": rec.tag or rec.stream.value,
+                "ph": "X",
+                "ts": rec.start * time_scale,
+                "dur": max(rec.end - rec.start, 0.0) * time_scale,
+                "pid": rec.device,
+                "tid": _LANE_ORDER[rec.stream.value],
+                "args": {"stream": rec.stream.value, "tag": rec.tag},
+            }
+        )
+    # Thread name metadata so lanes read comp/comm/mem in the viewer.
+    devices = {rec.device for rec in records}
+    for dev in devices:
+        for lane, tid in _LANE_ORDER.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": dev,
+                    "tid": tid,
+                    "args": {"name": f"gpu{dev}/{lane}"},
+                }
+            )
+    return json.dumps({"traceEvents": events}, indent=None)
+
+
+def save_chrome_trace(records: Iterable[OpRecord], path: str) -> None:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_chrome_trace(records))

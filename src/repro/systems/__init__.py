@@ -1,0 +1,33 @@
+"""End-to-end system models for the evaluation harness.
+
+Each system model answers, for a (MoE layer spec, per-device batch,
+world size) operating point, the two questions every figure in the
+paper's Sec. V asks: *how long does one training iteration take* and
+*what is the peak per-device memory footprint*.
+
+* :class:`~repro.systems.fastmoe.FastMoEModel` — primitive expert
+  parallelism, synchronous All-to-All, no pipelining.
+* :class:`~repro.systems.fastermoe.FasterMoEModel` — fixed-granularity
+  split-by-N pipelining with point-to-point decomposed All-to-All and
+  dynamic-shadowing memory overhead.
+* :class:`~repro.systems.pipemoe.PipeMoEModel` — MPipeMoE's pipeline
+  (split-by-B, fused fine-grained All-to-All) with adaptive or pinned
+  granularity, no memory reuse.
+* :class:`~repro.systems.mpipemoe.MPipeMoEModel` — PipeMoE plus adaptive
+  (or pinned) memory-reuse strategy.
+"""
+
+from repro.systems.base import SystemModel, SystemReport
+from repro.systems.fastmoe import FastMoEModel
+from repro.systems.fastermoe import FasterMoEModel
+from repro.systems.pipemoe import PipeMoEModel
+from repro.systems.mpipemoe import MPipeMoEModel
+
+__all__ = [
+    "SystemModel",
+    "SystemReport",
+    "FastMoEModel",
+    "FasterMoEModel",
+    "PipeMoEModel",
+    "MPipeMoEModel",
+]

@@ -1,0 +1,89 @@
+"""Shared plumbing of the system models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.cost import NcclCostModel
+from repro.config import ClusterSpec, DGX_A100_CLUSTER, MoELayerSpec
+from repro.hardware.device import A100_SXM_40GB, DeviceSpec
+from repro.hardware.topology import ClusterTopology
+from repro.memory.footprint import FootprintModel
+from repro.sim.engine import SimEngine, SimResult
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """One system's performance at one operating point."""
+
+    system: str
+    spec_name: str
+    batch: int
+    world_size: int
+    iteration_time: float  # seconds, forward + backward of the MoE layer
+    peak_memory_bytes: int  # per device
+    num_partitions: int = 1
+    strategy: str = "none"
+    comp_utilization: float = 0.0
+
+    def speedup_over(self, other: "SystemReport") -> float:
+        return other.iteration_time / self.iteration_time
+
+    def memory_vs(self, other: "SystemReport") -> float:
+        return self.peak_memory_bytes / other.peak_memory_bytes
+
+
+@dataclass
+class SystemContext:
+    """Cluster/device context shared by all system models in a comparison."""
+
+    cluster: ClusterSpec = DGX_A100_CLUSTER
+    device: DeviceSpec = A100_SXM_40GB
+    world_size: int | None = None  # default: full cluster
+
+    def __post_init__(self) -> None:
+        self.topology = ClusterTopology(self.cluster)
+        self.engine = SimEngine()
+
+    @property
+    def effective_world(self) -> int:
+        return self.world_size or self.cluster.world_size
+
+    def comm_model(self) -> NcclCostModel:
+        return NcclCostModel(self.topology, self.effective_world)
+
+    def footprint(self, spec: MoELayerSpec) -> FootprintModel:
+        return FootprintModel(spec, self.effective_world)
+
+
+class SystemModel:
+    """Base class: subclasses implement :meth:`evaluate`."""
+
+    name = "base"
+
+    def __init__(self, context: SystemContext | None = None) -> None:
+        self.context = context or SystemContext()
+
+    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+        raise NotImplementedError
+
+    def _report(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        sim: SimResult,
+        memory: int,
+        n: int = 1,
+        strategy: str = "none",
+    ) -> SystemReport:
+        return SystemReport(
+            system=self.name,
+            spec_name=spec.name,
+            batch=batch,
+            world_size=self.context.effective_world,
+            iteration_time=sim.makespan,
+            peak_memory_bytes=memory,
+            num_partitions=n,
+            strategy=strategy,
+            comp_utilization=sim.utilization(0),
+        )

@@ -1,0 +1,44 @@
+"""FastMoE baseline: primitive expert parallelism.
+
+The paper's characterisation (Sec. V-B): no pipelining — the All-to-All
+and expert computation are synchronous, blocking stages ("Inefficient
+Synchronous Communication", Sec. II-A) — and the GEMMs do not use the
+tensor-core path MPipeMoE's kernels hit, modeled by ``gemm_derate``.
+
+Memory is the plain Eq. 1-3 footprint (the Fig. 9 normalisation
+baseline).
+"""
+
+from __future__ import annotations
+
+from repro.config import MoELayerSpec
+from repro.pipeline.schedule import MoEStageCosts, build_timeline
+from repro.systems.base import SystemContext, SystemModel, SystemReport
+
+#: Fraction of MPipeMoE's sustained GEMM rate FastMoE achieves (no
+#: tensor-core fusion; Sec. V-C attributes part of PipeMoE(n=1)'s edge
+#: over FastMoE to Tensor Cores).
+FASTMOE_GEMM_DERATE = 0.6
+
+
+class FastMoEModel(SystemModel):
+    name = "FastMoE"
+
+    def __init__(self, context: SystemContext | None = None,
+                 gemm_derate: float = FASTMOE_GEMM_DERATE) -> None:
+        super().__init__(context)
+        self.gemm_derate = gemm_derate
+
+    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+        costs = MoEStageCosts.compute(
+            spec,
+            batch,
+            n=1,
+            device=self.context.device,
+            comm=self.context.comm_model(),
+            gemm_derate=self.gemm_derate,
+        )
+        ops = build_timeline(costs, n=1, strategy="none", sequential=True)
+        sim = self.context.engine.run(ops)
+        memory = self.context.footprint(spec).total_bytes(batch, pipelined=False)
+        return self._report(spec, batch, sim, memory, n=1, strategy="none")

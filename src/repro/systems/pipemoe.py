@@ -1,0 +1,61 @@
+"""PipeMoE: MPipeMoE's pipeline parallelism without memory reuse.
+
+Split-by-B micro-batches with fused fine-grained NCCL All-to-Alls
+(Fig. 5b) and, by default, the adaptive granularity of Algorithm 1;
+pass ``fixed_n`` to reproduce the PipeMoE(n=k) ablations of
+Figs. 8, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from repro.config import MoELayerSpec
+from repro.pipeline.granularity import GranularitySearcher
+from repro.pipeline.schedule import MoEStageCosts, build_timeline
+from repro.systems.base import SystemContext, SystemModel, SystemReport
+
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 16)
+
+
+class PipeMoEModel(SystemModel):
+    name = "PipeMoE"
+
+    def __init__(
+        self,
+        context: SystemContext | None = None,
+        fixed_n: int | None = None,
+        candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    ) -> None:
+        super().__init__(context)
+        if fixed_n is not None and fixed_n < 1:
+            raise ValueError("fixed_n must be >= 1")
+        self.fixed_n = fixed_n
+        self.candidates = candidates
+        self._searchers: dict[str, GranularitySearcher] = {}
+        if fixed_n is not None:
+            self.name = f"PipeMoE(n={fixed_n})"
+
+    def _iteration(self, spec: MoELayerSpec, batch: int, n: int):
+        costs = MoEStageCosts.compute(
+            spec, batch, n, self.context.device, self.context.comm_model()
+        )
+        ops = build_timeline(costs, n=n, strategy="none")
+        return self.context.engine.run(ops)
+
+    def choose_n(self, spec: MoELayerSpec, batch: int) -> int:
+        """Algorithm 1 per model spec (a layer has its own searcher state)."""
+        if self.fixed_n is not None:
+            return self.fixed_n
+        searcher = self._searchers.get(spec.name)
+        if searcher is None:
+            searcher = GranularitySearcher(
+                evaluate=lambda b, n: self._iteration(spec, b, n).makespan,
+                candidates=self.candidates,
+            )
+            self._searchers[spec.name] = searcher
+        return searcher.configure(batch)
+
+    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+        n = self.choose_n(spec, batch)
+        sim = self._iteration(spec, batch, n)
+        memory = self.context.footprint(spec).total_bytes(batch, pipelined=n > 1)
+        return self._report(spec, batch, sim, memory, n=n, strategy="none")

@@ -1,0 +1,20 @@
+"""Minimal numpy autograd engine.
+
+This package is the reproduction's stand-in for ``torch``: a ``Tensor``
+wrapping a numpy array with reverse-mode automatic differentiation over
+the small op set an MoE layer needs (matmul, bias add, GELU/ReLU,
+softmax, gather/scatter for token routing, reductions).
+
+Design notes (following the HPC-Python guides):
+
+* all math is vectorised numpy — no Python loops over tokens;
+* backward functions reuse forward buffers where safe (views, not copies);
+* every op's gradient is validated against central finite differences in
+  the test suite (``tests/tensor/test_gradcheck.py``).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "gradcheck"]

@@ -1,0 +1,82 @@
+"""Synthetic token streams.
+
+The paper trains on "a dummy dataset by generating random tokens"
+(Sec. V-A2) because only the MoE layer's systems behaviour matters.
+:class:`SyntheticTokenDataset` yields per-rank batches of embeddings and
+regression targets; batch sizes can follow a schedule to exercise the
+dynamic-B behaviour Algorithm 1 exists for (Sec. III-C cites Tutel on
+dynamic batch sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.seeding import derive_seed, seeded_rng
+
+
+class SyntheticTokenDataset:
+    """Deterministic random token batches for every rank."""
+
+    def __init__(
+        self,
+        d_model: int,
+        world_size: int,
+        batch: int | Sequence[int] = 256,
+        scale: float = 1.0,
+        seed: int = 0,
+        fixed: bool = False,
+        dtype=np.float64,
+    ) -> None:
+        """``fixed=True`` repeats step 0's data every step — a single
+        batch to overfit, used by convergence tests."""
+        if d_model < 1 or world_size < 1:
+            raise ValueError("d_model and world_size must be >= 1")
+        self.fixed = fixed
+        self.d_model = d_model
+        self.world_size = world_size
+        self.batch_schedule = (
+            [int(batch)] if isinstance(batch, (int, np.integer)) else [int(b) for b in batch]
+        )
+        if any(b < 1 for b in self.batch_schedule):
+            raise ValueError("batch sizes must be >= 1")
+        self.scale = scale
+        self.seed = seed
+        self.dtype = dtype
+
+    def batch_size(self, step: int) -> int:
+        return self.batch_schedule[step % len(self.batch_schedule)]
+
+    def batches(self, step: int) -> list[np.ndarray]:
+        """Per-rank input embeddings for one step."""
+        b = self.batch_size(step)
+        if self.fixed:
+            step = 0
+        return [
+            seeded_rng(derive_seed(self.seed, "x", step, r))
+            .standard_normal((b, self.d_model))
+            .astype(self.dtype)
+            * self.scale
+            for r in range(self.world_size)
+        ]
+
+    def targets(self, step: int) -> list[np.ndarray]:
+        """Per-rank regression targets (same shape as the inputs)."""
+        b = self.batch_size(step)
+        if self.fixed:
+            step = 0
+        return [
+            seeded_rng(derive_seed(self.seed, "y", step, r))
+            .standard_normal((b, self.d_model))
+            .astype(self.dtype)
+            * self.scale
+            for r in range(self.world_size)
+        ]
+
+    def __iter__(self) -> Iterator[tuple[list[np.ndarray], list[np.ndarray]]]:
+        step = 0
+        while True:
+            yield self.batches(step), self.targets(step)
+            step += 1

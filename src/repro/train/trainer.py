@@ -1,0 +1,87 @@
+"""End-to-end training loop over the MoE layer.
+
+Runs real numpy forward/backward through the (optionally pipelined,
+memory-reused) layer, an MSE regression loss plus the Switch auxiliary
+loss, and an optimizer step.  The loss history is what the correctness
+tests use to show that pipelining / memory reuse leave training
+*dynamics* untouched, not just single-step outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.moe_layer import MoELayer
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.train.data import SyntheticTokenDataset
+from repro.train.optimizer import Adam, Optimizer
+
+
+@dataclass
+class TrainStepResult:
+    step: int
+    loss: float
+    aux_loss: float
+    num_partitions: int
+    strategy: str
+    dropped_tokens: int
+
+
+class Trainer:
+    """Synchronous multi-rank trainer for one MoE layer."""
+
+    def __init__(
+        self,
+        layer: MoELayer,
+        dataset: SyntheticTokenDataset,
+        optimizer: Optimizer | None = None,
+        aux_weight: float = 0.01,
+    ) -> None:
+        if dataset.world_size != layer.world_size:
+            raise ValueError(
+                f"dataset world {dataset.world_size} != layer world {layer.world_size}"
+            )
+        if dataset.d_model != layer.spec.d_model:
+            raise ValueError("dataset d_model must match the layer")
+        self.layer = layer
+        self.dataset = dataset
+        self.optimizer = optimizer or Adam(layer.parameters())
+        self.aux_weight = aux_weight
+        self.history: list[TrainStepResult] = []
+
+    def loss_fn(self, outputs: list[Tensor], targets: list[np.ndarray]) -> Tensor:
+        """Mean-squared error averaged over ranks and tokens."""
+        total = None
+        for out, tgt in zip(outputs, targets):
+            diff = out - Tensor(tgt)
+            term = F.mean(F.mul(diff, diff))
+            total = term if total is None else total + term
+        return total * (1.0 / len(outputs))
+
+    def step(self, step_idx: int) -> TrainStepResult:
+        xs = [Tensor(x, requires_grad=False) for x in self.dataset.batches(step_idx)]
+        targets = self.dataset.targets(step_idx)
+
+        self.optimizer.zero_grad()
+        moe_out = self.layer.forward(xs)
+        loss = self.loss_fn(moe_out.outputs, targets)
+        total = loss + moe_out.aux_loss * self.aux_weight
+        total.backward()
+        self.optimizer.step()
+
+        result = TrainStepResult(
+            step=step_idx,
+            loss=loss.item(),
+            aux_loss=moe_out.aux_loss.item(),
+            num_partitions=moe_out.num_partitions,
+            strategy=moe_out.strategy,
+            dropped_tokens=moe_out.dropped_tokens,
+        )
+        self.history.append(result)
+        return result
+
+    def train(self, num_steps: int) -> list[TrainStepResult]:
+        return [self.step(i) for i in range(num_steps)]

@@ -1,0 +1,42 @@
+"""Shared utilities: units, seeding, formatting.
+
+These helpers are deliberately dependency-free so every other subpackage can
+import them without cycles.
+"""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    GBPS,
+    GBITPS,
+    TFLOPS,
+    US,
+    MS,
+    fmt_bytes,
+    fmt_time,
+)
+from repro.utils.seeding import seeded_rng, derive_seed
+from repro.utils.tables import Table
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "GBPS",
+    "GBITPS",
+    "TFLOPS",
+    "US",
+    "MS",
+    "fmt_bytes",
+    "fmt_time",
+    "seeded_rng",
+    "derive_seed",
+    "Table",
+]

@@ -1,0 +1,133 @@
+"""Functional collectives: values, shapes, and the key involution
+property of All-to-All that expert parallelism relies on."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    ProcessGroup,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    all_to_all_single,
+    broadcast,
+    reduce_scatter,
+)
+
+
+@pytest.fixture
+def group():
+    return ProcessGroup(4)
+
+
+def per_rank_inputs(group, chunk=3, feat=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal((group.world_size, chunk, feat))
+        for _ in range(group.world_size)
+    ]
+
+
+class TestAllToAllSingle:
+    def test_transposes_src_dst(self, group):
+        inputs = per_rank_inputs(group)
+        outputs = all_to_all_single(group, inputs)
+        for dst in group.ranks():
+            for src in group.ranks():
+                np.testing.assert_array_equal(outputs[dst][src], inputs[src][dst])
+
+    def test_involution(self, group):
+        """Dispatch followed by combine is the identity (Fig. 1 round trip)."""
+        inputs = per_rank_inputs(group)
+        back = all_to_all_single(group, all_to_all_single(group, inputs))
+        for a, b in zip(inputs, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_output_not_aliased(self, group):
+        inputs = per_rank_inputs(group)
+        outputs = all_to_all_single(group, inputs)
+        outputs[0][0] += 100.0
+        assert not np.allclose(outputs[0][0], inputs[0][0])
+
+    def test_leading_dim_checked(self, group):
+        bad = [np.zeros((3, 2))] * 4  # leading dim != world
+        with pytest.raises(ValueError, match="leading dim"):
+            all_to_all_single(group, bad)
+
+    def test_world_one_identity(self):
+        g = ProcessGroup(1)
+        x = [np.arange(6.0).reshape(1, 3, 2)]
+        out = all_to_all_single(g, x)
+        np.testing.assert_array_equal(out[0], x[0])
+
+    def test_shape_mismatch_rejected(self, group):
+        inputs = per_rank_inputs(group)
+        inputs[2] = inputs[2][:, :1]
+        with pytest.raises(ValueError, match="equal shapes"):
+            all_to_all_single(group, inputs)
+
+
+class TestAllToAllList:
+    def test_unequal_chunks(self, group):
+        rng = np.random.default_rng(1)
+        # rank r sends chunk of length (r + dst + 1) to dst.
+        inputs = [
+            [rng.standard_normal((r + d + 1, 2)) for d in group.ranks()]
+            for r in group.ranks()
+        ]
+        outputs = all_to_all(group, inputs)
+        for r in group.ranks():
+            for s in group.ranks():
+                np.testing.assert_array_equal(outputs[r][s], inputs[s][r])
+
+    def test_row_arity_checked(self, group):
+        with pytest.raises(ValueError, match="chunks"):
+            all_to_all(group, [[np.zeros(1)] * 3] * 4)
+
+
+class TestOtherCollectives:
+    def test_all_gather(self, group):
+        inputs = [np.full((2,), float(r)) for r in group.ranks()]
+        outs = all_gather(group, inputs)
+        for out in outs:
+            assert out.shape == (4, 2)
+            np.testing.assert_array_equal(out[3], 3.0)
+
+    def test_all_reduce_sum(self, group):
+        inputs = [np.full((3,), float(r)) for r in group.ranks()]
+        outs = all_reduce(group, inputs)
+        for out in outs:
+            np.testing.assert_array_equal(out, 6.0)
+
+    def test_all_reduce_custom_op(self, group):
+        inputs = [np.full((2,), float(r)) for r in group.ranks()]
+        outs = all_reduce(group, inputs, op=np.maximum)
+        np.testing.assert_array_equal(outs[0], 3.0)
+
+    def test_reduce_scatter(self, group):
+        inputs = [np.ones((4, 2)) * (r + 1) for r in group.ranks()]
+        outs = reduce_scatter(group, inputs)
+        for r in group.ranks():
+            np.testing.assert_array_equal(outs[r], np.full(2, 10.0))
+
+    def test_reduce_scatter_matches_allreduce_slice(self, group):
+        rng = np.random.default_rng(2)
+        inputs = [rng.standard_normal((4, 3)) for _ in group.ranks()]
+        rs = reduce_scatter(group, inputs)
+        ar = all_reduce(group, inputs)
+        for r in group.ranks():
+            np.testing.assert_allclose(rs[r], ar[r][r])
+
+    def test_broadcast(self, group):
+        inputs = [np.full(2, float(r)) for r in group.ranks()]
+        outs = broadcast(group, inputs, root=2)
+        for out in outs:
+            np.testing.assert_array_equal(out, 2.0)
+
+    def test_gather_reduce_consistency(self, group):
+        """sum(all_gather) == all_reduce — cross-collective sanity."""
+        rng = np.random.default_rng(3)
+        inputs = [rng.standard_normal(5) for _ in group.ranks()]
+        gathered = all_gather(group, inputs)[0].sum(axis=0)
+        reduced = all_reduce(group, inputs)[0]
+        np.testing.assert_allclose(gathered, reduced)

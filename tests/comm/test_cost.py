@@ -1,0 +1,76 @@
+"""Collective cost model: scaling with volume, world size, and the
+fused-vs-decomposed gap the paper builds on (Fig. 5)."""
+
+import pytest
+
+from repro.comm.cost import NCCL_LATENCY, NcclCostModel
+from repro.config import ClusterSpec, DGX_A100_CLUSTER
+from repro.hardware.topology import ClusterTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return ClusterTopology(DGX_A100_CLUSTER)
+
+
+class TestFusedAllToAll:
+    def test_world_one_free(self, topo):
+        assert NcclCostModel(topo, 1).alltoall_time(1 << 20) == 0.0
+
+    def test_latency_floor(self, topo):
+        assert NcclCostModel(topo, 8).alltoall_time(0) == pytest.approx(NCCL_LATENCY)
+
+    def test_linear_in_bytes(self, topo):
+        m = NcclCostModel(topo, 8)
+        t1 = m.alltoall_time(1 << 24) - NCCL_LATENCY
+        t2 = m.alltoall_time(1 << 25) - NCCL_LATENCY
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_slower_across_nodes(self, topo):
+        intra = NcclCostModel(topo, 8).alltoall_time(1 << 26)
+        inter = NcclCostModel(topo, 64).alltoall_time(1 << 26)
+        assert inter > intra
+
+    def test_negative_bytes_rejected(self, topo):
+        with pytest.raises(ValueError):
+            NcclCostModel(topo, 8).alltoall_time(-1)
+
+
+class TestDecomposedAllToAll:
+    def test_decomposed_slower_than_fused(self, topo):
+        """The Fig. 5 argument: P2P decomposition loses to fused NCCL."""
+        for world in (8, 16, 64):
+            m = NcclCostModel(topo, world)
+            nbytes = 1 << 24
+            assert m.decomposed_alltoall_time(nbytes) > m.alltoall_time(nbytes)
+
+    def test_latency_term_scales_with_world(self, topo):
+        # At zero volume the decomposed form still pays per-pair latency.
+        t8 = NcclCostModel(topo, 8).decomposed_alltoall_time(0)
+        t64 = NcclCostModel(topo, 64).decomposed_alltoall_time(0)
+        assert t64 > t8
+
+    def test_world_one_free(self, topo):
+        assert NcclCostModel(topo, 1).decomposed_alltoall_time(123) == 0.0
+
+
+class TestOtherCollectiveCosts:
+    def test_allreduce_vs_allgather_ring_volumes(self, topo):
+        # Ring all-reduce moves 2(W-1)/W * n; all-gather of n/(W-1) per
+        # rank moves n.  Ratio is therefore 2(W-1)/W.
+        m = NcclCostModel(topo, 8)
+        n = 1 << 26
+        ar = m.allreduce_time(n) - NCCL_LATENCY
+        ag = m.allgather_time(n / 7) - NCCL_LATENCY
+        assert ar == pytest.approx(2 * 7 / 8 * ag, rel=1e-6)
+
+    def test_p2p_intra_vs_inter(self, topo):
+        m = NcclCostModel(topo)
+        assert m.p2p_time(1 << 26, 0, 1) < m.p2p_time(1 << 26, 0, 8)
+
+    def test_p2p_self_free(self, topo):
+        assert NcclCostModel(topo).p2p_time(100, 3, 3) == 0.0
+
+    def test_effective_world_defaults_to_cluster(self, topo):
+        assert NcclCostModel(topo).effective_world == 64
+        assert NcclCostModel(topo, 16).effective_world == 16

@@ -1,0 +1,36 @@
+"""Process group plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ProcessGroup
+
+
+class TestProcessGroup:
+    def test_world_size(self):
+        g = ProcessGroup(4)
+        assert g.world_size == 4
+        assert list(g.ranks()) == [0, 1, 2, 3]
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(0)
+
+    def test_rank_rngs_independent_and_deterministic(self):
+        g = ProcessGroup(3)
+        a1 = g.rank_rng(7, 0).standard_normal(4)
+        a2 = g.rank_rng(7, 0).standard_normal(4)
+        b = g.rank_rng(7, 1).standard_normal(4)
+        np.testing.assert_array_equal(a1, a2)
+        assert not np.allclose(a1, b)
+
+    def test_rank_bounds(self):
+        g = ProcessGroup(2)
+        with pytest.raises(IndexError):
+            g.rank_rng(0, 2)
+
+    def test_validate_per_rank(self):
+        g = ProcessGroup(2)
+        g.validate_per_rank([1, 2])
+        with pytest.raises(ValueError):
+            g.validate_per_rank([1])

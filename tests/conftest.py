@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.tensor import Tensor
+
+
+def make_layer(**overrides) -> repro.MoELayer:
+    """Small, fast MoE layer used across integration tests."""
+    kwargs = dict(
+        d_model=16,
+        d_hidden=32,
+        num_experts=8,
+        top_k=1,
+        world_size=4,
+        pipeline=True,
+        memory_reuse=False,
+        num_partitions=2,
+        activation="gelu",
+        seed=11,
+    )
+    kwargs.update(overrides)
+    return repro.MoELayer(**kwargs)
+
+
+def make_inputs(layer: repro.MoELayer, batch: int = 12, seed: int = 5,
+                requires_grad: bool = True) -> list[Tensor]:
+    rng = np.random.default_rng(seed)
+    return [
+        Tensor(rng.standard_normal((batch, layer.spec.d_model)),
+               requires_grad=requires_grad)
+        for _ in range(layer.world_size)
+    ]
+
+
+def scalar_loss(outputs, aux=None, aux_weight=0.01):
+    loss = outputs[0].sum()
+    for o in outputs[1:]:
+        loss = loss + o.sum()
+    if aux is not None:
+        loss = loss + aux * aux_weight
+    return loss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

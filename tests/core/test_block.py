@@ -1,0 +1,107 @@
+"""MoE transformer block (pre-norm + residual) and the layer_norm op."""
+
+import numpy as np
+import pytest
+
+from repro.core.block import MoETransformerBlock
+from repro.tensor import Tensor, gradcheck
+from repro.tensor import functional as F
+
+from tests.conftest import make_inputs, make_layer, scalar_loss
+
+
+class TestLayerNormOp:
+    def test_normalises_last_axis(self, rng):
+        x = Tensor(rng.standard_normal((6, 16)) * 3 + 2)
+        g = Tensor(np.ones(16))
+        b = Tensor(np.zeros(16))
+        out = F.layer_norm(x, g, b).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)))
+        g = Tensor(np.full(8, 2.0))
+        b = Tensor(np.full(8, 5.0))
+        out = F.layer_norm(x, g, b).data
+        np.testing.assert_allclose(out.mean(axis=-1), 5.0, atol=1e-10)
+
+    def test_gradcheck_all_inputs(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        g = Tensor(rng.standard_normal(5) + 1.0, requires_grad=True)
+        b = Tensor(rng.standard_normal(5), requires_grad=True)
+        assert gradcheck(
+            lambda a, gg, bb: F.layer_norm(a, gg, bb), [x, g, b],
+            rtol=1e-3, atol=1e-6,
+        )
+
+
+class TestBlock:
+    def _block(self, **kw):
+        layer = make_layer(**kw)
+        return MoETransformerBlock(layer, seed=1), layer
+
+    def test_output_shapes_and_residual(self):
+        block, layer = self._block()
+        xs = make_inputs(layer, batch=10)
+        outputs, moe_out = block(xs)
+        assert len(outputs) == layer.world_size
+        assert outputs[0].shape == (10, 16)
+        # Residual: output differs from MoE output by exactly x.
+        np.testing.assert_allclose(
+            outputs[0].data - moe_out.outputs[0].data, xs[0].data, atol=1e-12
+        )
+
+    def test_dropped_tokens_pass_through_residual(self):
+        # Tight capacity (low factor, small padding multiple) forces drops.
+        block, layer = self._block(capacity_factor=0.25,
+                                   candidate_partitions=(1, 2),
+                                   num_partitions=2)
+        xs = make_inputs(layer, batch=32)
+        outputs, moe_out = block(xs)
+        assert moe_out.dropped_tokens > 0
+        plan = moe_out.plans[0]
+        kept = set(plan.token_ids.tolist())
+        dropped = [t for t in range(32) if t not in kept]
+        for t in dropped[:3]:
+            np.testing.assert_allclose(
+                outputs[0].data[t], xs[0].data[t], atol=1e-12
+            )
+
+    def test_backward_reaches_norm_params(self):
+        block, layer = self._block(memory_reuse=True, num_partitions=2,
+                                   strategy="S4")
+        xs = make_inputs(layer)
+        outputs, moe_out = block(xs)
+        scalar_loss(outputs, moe_out.aux_loss).backward()
+        assert block.gamma.grad is not None
+        assert block.beta.grad is not None
+        assert layer.gate.wg.grad is not None
+
+    def test_block_equivalence_across_modes(self):
+        def run(**kw):
+            block, layer = self._block(seed=5, **kw)
+            xs = make_inputs(layer, seed=2)
+            outputs, moe_out = block(xs)
+            scalar_loss(outputs, moe_out.aux_loss).backward()
+            return (
+                [o.data.copy() for o in outputs],
+                [p.grad.copy() for p in block.parameters()],
+            )
+
+        ref_o, ref_g = run(pipeline=False, memory_reuse=False,
+                           num_partitions=None)
+        for kw in (
+            dict(memory_reuse=False, num_partitions=4),
+            dict(memory_reuse=True, num_partitions=4, strategy="S1"),
+            dict(memory_reuse=True, num_partitions=2, strategy="S3"),
+        ):
+            o, g = run(**kw)
+            for a, b in zip(o, ref_o):
+                np.testing.assert_allclose(a, b, atol=1e-10)
+            for a, b in zip(g, ref_g):
+                np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_parameters_include_norm_and_moe(self):
+        block, layer = self._block()
+        assert len(block.parameters()) == len(layer.parameters()) + 2

@@ -1,0 +1,115 @@
+"""Expert FFN: autograd path, explicit path, and their agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.experts import ExpertFFN
+from repro.tensor import Tensor, gradcheck
+
+
+@pytest.fixture
+def expert():
+    return ExpertFFN(d_model=6, d_hidden=10, activation="gelu", seed=3)
+
+
+class TestForward:
+    def test_shapes(self, expert, rng):
+        x = Tensor(rng.standard_normal((7, 6)))
+        assert expert(x).shape == (7, 6)
+
+    def test_explicit_matches_autograd(self, expert, rng):
+        x = rng.standard_normal((5, 6))
+        auto = expert(Tensor(x)).data
+        y, tm = expert.forward_np(x)
+        np.testing.assert_allclose(y, auto, atol=1e-12)
+        assert tm.shape == (5, 10)
+
+    def test_forward_np_out_buffer(self, expert, rng):
+        x = rng.standard_normal((4, 6))
+        out = np.zeros((4, 6))
+        y, _ = expert.forward_np(x, out=out)
+        assert y is out
+        np.testing.assert_allclose(out, expert.forward_np(x)[0])
+
+    @pytest.mark.parametrize("act", ["relu", "gelu", "identity"])
+    def test_all_activations(self, act, rng):
+        e = ExpertFFN(4, 8, activation=act, seed=0)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            e.forward_np(x)[0], e(Tensor(x)).data, atol=1e-12
+        )
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            ExpertFFN(4, 8, activation="swish")
+
+    def test_num_params(self, expert):
+        assert expert.num_params == 6 * 10 + 10 + 10 * 6 + 6
+
+    def test_flops_per_token(self, expert):
+        assert expert.flops_per_token() == 4 * 6 * 10
+
+    def test_deterministic_by_seed(self, rng):
+        a = ExpertFFN(4, 8, seed=5)
+        b = ExpertFFN(4, 8, seed=5)
+        c = ExpertFFN(4, 8, seed=6)
+        np.testing.assert_array_equal(a.w1.data, b.w1.data)
+        assert not np.allclose(a.w1.data, c.w1.data)
+
+
+class TestExplicitBackward:
+    @pytest.mark.parametrize("act", ["relu", "gelu", "identity"])
+    def test_matches_autograd_gradients(self, act, rng):
+        e = ExpertFFN(5, 9, activation=act, seed=1)
+        x = rng.standard_normal((6, 5))
+        dy = rng.standard_normal((6, 5))
+
+        # Autograd reference.
+        xt = Tensor(x, requires_grad=True)
+        e(xt).backward(dy)
+        ref = {
+            "x": xt.grad,
+            "w1": e.w1.grad,
+            "b1": e.b1.grad,
+            "w2": e.w2.grad,
+            "b2": e.b2.grad,
+        }
+        e.zero_grad()
+
+        # Explicit path.
+        y, tm = e.forward_np(x)
+        dx, grads = e.backward_np(x, tm, dy)
+        np.testing.assert_allclose(dx, ref["x"], atol=1e-10)
+        np.testing.assert_allclose(grads.w1, ref["w1"], atol=1e-10)
+        np.testing.assert_allclose(grads.b1, ref["b1"], atol=1e-10)
+        np.testing.assert_allclose(grads.w2, ref["w2"], atol=1e-10)
+        np.testing.assert_allclose(grads.b2, ref["b2"], atol=1e-10)
+
+    def test_recompute_tm_matches_stash(self, expert, rng):
+        x = rng.standard_normal((4, 6))
+        _, tm = expert.forward_np(x)
+        np.testing.assert_array_equal(expert.recompute_tm(x), tm)
+
+    def test_accumulate_grads(self, expert, rng):
+        x = rng.standard_normal((3, 6))
+        _, tm = expert.forward_np(x)
+        _, grads = expert.backward_np(x, tm, np.ones((3, 6)))
+        expert.accumulate_grads(grads)
+        expert.accumulate_grads(grads)
+        np.testing.assert_allclose(expert.w1.grad, 2 * grads.w1)
+
+    def test_autograd_gradcheck_end_to_end(self):
+        e = ExpertFFN(3, 5, activation="gelu", seed=2)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(lambda a: e(a), [x], rtol=1e-3, atol=1e-5)
+
+
+class TestExpertGrads:
+    def test_add_(self, rng):
+        e = ExpertFFN(3, 4, seed=0)
+        x = rng.standard_normal((2, 3))
+        _, tm = e.forward_np(x)
+        _, g1 = e.backward_np(x, tm, np.ones((2, 3)))
+        _, g2 = e.backward_np(x, tm, np.ones((2, 3)))
+        g1.add_(g2)
+        np.testing.assert_allclose(g1.w2, 2 * g2.w2)

@@ -1,0 +1,50 @@
+"""Device capability model."""
+
+import pytest
+
+from repro.hardware.device import A100_SXM_40GB, DeviceSpec, V100_SXM_32GB
+from repro.utils.units import GIB, TFLOPS
+
+
+class TestA100Spec:
+    def test_memory_capacity(self):
+        assert A100_SXM_40GB.memory_bytes == 40 * GIB
+
+    def test_sustained_below_peak(self):
+        assert (
+            A100_SXM_40GB.sustained_gemm_flops
+            == 312 * TFLOPS * A100_SXM_40GB.gemm_efficiency
+        )
+        assert A100_SXM_40GB.sustained_gemm_flops < A100_SXM_40GB.peak_gemm_flops
+
+    def test_v100_slower_than_a100(self):
+        assert V100_SXM_32GB.peak_gemm_flops < A100_SXM_40GB.peak_gemm_flops
+
+
+class TestTiming:
+    def test_gemm_time_scales_linearly(self):
+        t1 = A100_SXM_40GB.gemm_time(1e12, num_kernels=0)
+        t2 = A100_SXM_40GB.gemm_time(2e12, num_kernels=0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        # A tiny GEMM costs ~ the launch overhead; this is what makes
+        # very fine pipeline granularity lose (paper Sec. II).
+        tiny = A100_SXM_40GB.gemm_time(1e3, num_kernels=1)
+        assert tiny == pytest.approx(A100_SXM_40GB.kernel_launch_overhead, rel=0.01)
+
+    def test_memcpy_time(self):
+        t = A100_SXM_40GB.memcpy_time(A100_SXM_40GB.pcie_bandwidth, num_ops=0)
+        assert t == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            A100_SXM_40GB.gemm_time(-1.0)
+        with pytest.raises(ValueError):
+            A100_SXM_40GB.memcpy_time(-1.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 1, 1.0, 1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 1.0, 0.5, 1.0, 1.0)

@@ -1,0 +1,68 @@
+"""Fig. 3 interference model."""
+
+import pytest
+
+from repro.hardware.interference import (
+    InterferenceModel,
+    PAPER_INTERFERENCE,
+    StreamKind,
+)
+
+
+class TestFig3Values:
+    """The measured grid from the paper's Fig. 3."""
+
+    @pytest.mark.parametrize(
+        "victim,interferer,value",
+        [
+            ("comm", "comp", 0.72),
+            ("comm", "mem", 0.78),
+            ("comm", "all", 0.71),
+            ("comp", "comm", 0.96),
+            ("comp", "mem", 1.0),
+            ("comp", "all", 0.94),
+            ("mem", "comm", 0.8),
+            ("mem", "comp", 0.98),
+            ("mem", "all", 0.71),
+        ],
+    )
+    def test_grid(self, victim, interferer, value):
+        assert PAPER_INTERFERENCE.factor(StreamKind(victim), interferer) == value
+
+    def test_unknown_entry(self):
+        with pytest.raises(KeyError):
+            PAPER_INTERFERENCE.factor(StreamKind.COMM, "nvme")
+
+
+class TestSlowdownComposition:
+    def test_alone_no_slowdown(self):
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.COMM, {StreamKind.COMM}) == 1.0
+
+    def test_pairwise(self):
+        active = {StreamKind.COMM, StreamKind.COMP}
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.COMM, active) == 0.72
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.COMP, active) == 0.96
+
+    def test_three_way_uses_all_entry(self):
+        active = {StreamKind.COMM, StreamKind.COMP, StreamKind.MEM}
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.COMM, active) == 0.71
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.MEM, active) == 0.71
+        assert PAPER_INTERFERENCE.slowdown(StreamKind.COMP, active) == 0.94
+
+
+class TestFeasibilityOfParallelism:
+    """Sec. II-C: overlap is profitable iff factors exceed 0.5."""
+
+    def test_mu_and_sigma_above_half(self):
+        assert PAPER_INTERFERENCE.factor(StreamKind.COMM, "comp") > 0.5
+        assert PAPER_INTERFERENCE.factor(StreamKind.COMP, "comm") > 0.5
+
+    def test_sigma_simplification(self):
+        assert PAPER_INTERFERENCE.sigma == 1.0
+
+    def test_table2_shortcuts(self):
+        # mu_all / eta_all when offload copies run; mu_comp otherwise.
+        assert PAPER_INTERFERENCE.mu(True) == 0.71
+        assert PAPER_INTERFERENCE.mu(False) == 0.72
+        assert PAPER_INTERFERENCE.eta(True) == 0.71
+        assert PAPER_INTERFERENCE.eta(False) == 1.0

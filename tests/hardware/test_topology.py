@@ -1,0 +1,72 @@
+"""Cluster interconnect topology."""
+
+import pytest
+
+from repro.config import ClusterSpec, DGX_A100_CLUSTER
+from repro.hardware.topology import ClusterTopology
+from repro.utils.units import GBPS, GBITPS
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return ClusterTopology(DGX_A100_CLUSTER)
+
+
+class TestStructure:
+    def test_gpu_count(self, topo):
+        gpus = [n for n, d in topo.graph.nodes(data=True) if d.get("kind") == "gpu"]
+        assert len(gpus) == 64
+
+    def test_rank_mapping_roundtrip(self, topo):
+        gid = topo.rank_to_gpu(19)
+        assert (gid.node, gid.local) == (2, 3)
+        assert gid.global_rank(8) == 19
+
+    def test_rank_out_of_range(self, topo):
+        with pytest.raises(IndexError):
+            topo.rank_to_gpu(64)
+
+    def test_same_node(self, topo):
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(7, 8)
+
+
+class TestBandwidths:
+    def test_intra_node_is_nvlink(self, topo):
+        assert topo.p2p_bandwidth(0, 1) == 600 * GBPS
+
+    def test_inter_node_is_ib(self, topo):
+        assert topo.p2p_bandwidth(0, 8) == 200 * GBITPS
+
+    def test_p2p_self_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.p2p_bandwidth(3, 3)
+
+    def test_alltoall_single_node_is_nvlink(self, topo):
+        # NVLink line rate discounted by intra-node NCCL efficiency.
+        assert topo.alltoall_bandwidth(8) == 600 * GBPS * 0.6
+
+    def test_alltoall_multi_node_ib_limited(self, topo):
+        bw64 = topo.alltoall_bandwidth(64)
+        # 8 GPUs share the node's 8x200 Gbit/s NICs, 56/64 of each GPU's
+        # traffic crosses the fabric, at inter-node NCCL efficiency:
+        expected = (8 * 200 * GBITPS / 8) / (56 / 64) * 0.35
+        assert bw64 == pytest.approx(expected)
+        assert bw64 < topo.alltoall_bandwidth(8)
+
+    def test_alltoall_monotone_in_world(self, topo):
+        bws = [topo.alltoall_bandwidth(w) for w in (8, 16, 32, 64)]
+        assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+    def test_alltoall_world_bounds(self, topo):
+        with pytest.raises(ValueError):
+            topo.alltoall_bandwidth(0)
+        with pytest.raises(ValueError):
+            topo.alltoall_bandwidth(65)
+
+    def test_bisection(self, topo):
+        assert topo.bisection_bandwidth() == 8 * 8 * 200 * GBITPS / 2
+
+    def test_single_node_cluster(self):
+        topo1 = ClusterTopology(ClusterSpec(num_nodes=1, gpus_per_node=4))
+        assert topo1.alltoall_bandwidth(4) == 600 * GBPS * 0.6

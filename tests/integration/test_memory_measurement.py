@@ -1,0 +1,96 @@
+"""Measured (allocator) memory against the Eq. 5/6 theory — the Fig. 10
+claim that achieved savings sit at ~95%+ of the analytical bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.experts import ExpertFFN
+from repro.memory.footprint import reuse_savings_elems
+from repro.memory.host_pool import HostBufferPool
+from repro.pipeline.executor import PipelinedMoEMiddle
+from repro.sim.memory_allocator import CachingAllocator
+
+W, EPER, M = 4, 2, 16
+H = 4 * M
+
+
+def run_with_meter(n, strategy, capacity, seed=0):
+    experts = [
+        [ExpertFFN(M, H, activation="relu", seed=r * 10 + e) for e in range(EPER)]
+        for r in range(W)
+    ]
+    rng = np.random.default_rng(seed)
+    ti = rng.standard_normal((W, W, EPER, capacity, M))
+    meter = CachingAllocator()
+    eng = PipelinedMoEMiddle(
+        experts, n, strategy, meter=meter, host_pool=HostBufferPool()
+    )
+    eng.forward(ti)
+    eng.backward(rng.standard_normal(ti.shape))
+    return meter
+
+
+class TestMeasuredSavingsMatchEq5:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_achieved_matches_theory(self, n):
+        capacity = 16
+        peak_none = run_with_meter(n, "none", capacity).peak_reserved_bytes
+        peak_reuse = run_with_meter(n, "S4", capacity).peak_reserved_bytes
+        measured_saving = peak_none - peak_reuse
+
+        # Eq. 5 counts TDI(+TDO) of (B, M) and TM of (B, H); here
+        # B = W * EPER * capacity rows per device and dtype is float64.
+        rows = W * EPER * capacity
+        predicted_elems = reuse_savings_elems(
+            # the formula is shape-only: build a spec with matching M, H
+            __import__("repro.config", fromlist=["MoELayerSpec"]).MoELayerSpec(
+                "probe", d_model=M, d_hidden=H
+            ),
+            rows,
+            n,
+        )
+        # Savings apply to both activations and temp buffers (Eq. 5 holds
+        # for each), so the measured delta is 2x the per-side formula.
+        predicted_bytes = 2 * predicted_elems * 8  # float64
+        # Allocator granularity (512B) introduces small slack: Fig. 10's
+        # "about 95% of the theoretical bound".
+        assert measured_saving == pytest.approx(predicted_bytes, rel=0.1)
+        assert measured_saving >= 0.9 * predicted_bytes
+
+    def test_reuse_peak_independent_of_n_chunks_only(self):
+        """With reuse, the ring footprint shrinks as n grows (same total B)."""
+        peaks = [
+            run_with_meter(n, "S4", capacity=16).peak_reserved_bytes
+            for n in (2, 4, 8)
+        ]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_none_peak_independent_of_n(self):
+        """Eq. 4: pipelining alone does not reduce the footprint."""
+        peaks = {
+            n: run_with_meter(n, "none", capacity=16).peak_reserved_bytes
+            for n in (1, 2, 4)
+        }
+        assert peaks[2] == pytest.approx(peaks[1], rel=0.05)
+        assert peaks[4] == pytest.approx(peaks[1], rel=0.05)
+
+
+class TestHostSideAccounting:
+    def test_offload_moves_bytes_to_host_not_device(self):
+        capacity = 8
+        experts = [
+            [ExpertFFN(M, H, seed=r * 10 + e) for e in range(EPER)]
+            for r in range(W)
+        ]
+        rng = np.random.default_rng(1)
+        ti = rng.standard_normal((W, W, EPER, capacity, M))
+        host = HostBufferPool()
+        meter_s1 = CachingAllocator()
+        eng = PipelinedMoEMiddle(experts, 4, "S1", meter=meter_s1, host_pool=host)
+        eng.forward(ti)
+        # All partitions' TDI and TM are parked on the host at fw end.
+        tdi_bytes = ti.nbytes  # full TDI across all ranks
+        tm_bytes = W * EPER * W * capacity * H * 8
+        assert host.peak_bytes == tdi_bytes + tm_bytes
+        eng.backward(rng.standard_normal(ti.shape))
+        assert host.bytes_used == 0

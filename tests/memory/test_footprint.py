@@ -1,0 +1,122 @@
+"""Eq. 1-6 memory formulas."""
+
+import pytest
+
+from repro.config import MOE_BERT_L, MOE_GPT3_S, MOE_GPT3_XL, MoELayerSpec
+from repro.memory.footprint import (
+    FootprintModel,
+    activations_elems,
+    buffers_elems,
+    memory_saving_ratio,
+    model_states_elems,
+    pipeline_activations_elems,
+    pipeline_buffers_elems,
+    reuse_savings_elems,
+)
+
+SPEC = MoELayerSpec("t", d_model=100, d_hidden=400, num_experts=8)
+
+
+class TestEquations:
+    def test_eq1_model_states(self):
+        # 4 * (E*M + 2*H*M)
+        assert model_states_elems(SPEC) == 4 * (8 * 100 + 2 * 400 * 100)
+
+    def test_eq2_activations(self):
+        # 4*B*M + B*H
+        assert activations_elems(SPEC, 64) == 4 * 64 * 100 + 64 * 400
+
+    def test_eq3_buffers(self):
+        assert buffers_elems(SPEC, 64) == 64 * 100 + 64 * 400
+
+    def test_eq4_pipeline_equals_activations(self):
+        assert pipeline_activations_elems(SPEC, 64) == activations_elems(SPEC, 64)
+        assert pipeline_buffers_elems(SPEC, 64) == activations_elems(SPEC, 64)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_eq5_savings(self, n):
+        b, m, h = 64, 100, 400
+        expected = int(b * (2 * m * (n - 2) / n + h * (n - 1) / n))
+        assert reuse_savings_elems(SPEC, b, n) == expected
+
+    def test_eq5_zero_for_n1(self):
+        assert reuse_savings_elems(SPEC, 64, 1) == 0
+
+    def test_eq5_n2_saves_only_tm(self):
+        # With n=2, TDI/TDO need 2 slots each = no saving; TM saves half.
+        assert reuse_savings_elems(SPEC, 64, 2) == 64 * 400 // 2
+
+    def test_eq6_ratio(self):
+        phi = memory_saving_ratio(SPEC, 64, 8)
+        delta = reuse_savings_elems(SPEC, 64, 8)
+        denom = model_states_elems(SPEC) + 2 * activations_elems(SPEC, 64)
+        assert phi == pytest.approx(2 * delta / denom)
+
+    def test_eq6_increases_with_n(self):
+        ratios = [memory_saving_ratio(SPEC, 4096, n) for n in (2, 4, 8, 16)]
+        assert ratios == sorted(ratios)
+
+    def test_eq6_increases_with_batch(self):
+        # Activations dominate at large B, so phi grows (Fig. 2 motivation).
+        ratios = [memory_saving_ratio(SPEC, b, 8) for b in (256, 1024, 4096, 16384)]
+        assert ratios == sorted(ratios)
+
+    def test_saving_bounded_by_activation_share(self):
+        # phi can never exceed the activations+buffers share of the total.
+        phi = memory_saving_ratio(SPEC, 1 << 20, 1 << 10)
+        assert phi < 1.0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            activations_elems(SPEC, 0)
+
+
+class TestFootprintModel:
+    def test_sharding_divides_expert_states(self):
+        solo = FootprintModel(MOE_GPT3_S, world_size=1)
+        sharded = FootprintModel(MOE_GPT3_S, world_size=8)
+        assert sharded.experts_per_rank == 8
+        assert sharded.model_states_bytes() < solo.model_states_bytes()
+
+    def test_world_must_divide_experts(self):
+        with pytest.raises(ValueError):
+            FootprintModel(MOE_GPT3_S, world_size=7)
+
+    def test_total_modes(self):
+        fp = FootprintModel(MOE_GPT3_S, world_size=8)
+        plain = fp.total_bytes(4096, pipelined=False)
+        piped = fp.total_bytes(4096, pipelined=True)
+        reused = fp.total_bytes(4096, pipelined=True, reuse_n=8)
+        assert piped > plain  # Eq. 4: temp buffers grow under pipelining
+        assert reused < piped
+
+    def test_reuse_without_pipeline_rejected(self):
+        fp = FootprintModel(MOE_GPT3_S, world_size=8)
+        with pytest.raises(ValueError):
+            fp.total_bytes(4096, pipelined=False, reuse_n=4)
+
+    def test_breakdown_keys_and_sum(self):
+        fp = FootprintModel(MOE_BERT_L, world_size=8)
+        parts = fp.breakdown(4096)
+        assert set(parts) == {"model_states", "activations", "temporary_buffers"}
+        assert sum(parts.values()) == fp.total_bytes(4096, pipelined=False)
+
+    def test_activations_dominate_at_large_batch(self):
+        """Fig. 2: activations + buffers become the major share as B grows."""
+        fp = FootprintModel(MOE_GPT3_S, world_size=8)
+        parts = fp.breakdown(16384)
+        act_share = (parts["activations"] + parts["temporary_buffers"]) / sum(
+            parts.values()
+        )
+        assert act_share > 0.5
+
+    def test_model_states_dominate_at_small_batch(self):
+        fp = FootprintModel(MOE_GPT3_XL, world_size=8)
+        parts = fp.breakdown(256)
+        assert parts["model_states"] > parts["activations"]
+
+    def test_saving_ratio_matches_measureable_delta(self):
+        fp = FootprintModel(MOE_GPT3_S, world_size=8)
+        piped = fp.total_bytes(8192, pipelined=True)
+        reused = fp.total_bytes(8192, pipelined=True, reuse_n=8)
+        assert fp.saving_ratio(8192, 8) == pytest.approx((piped - reused) / piped)

@@ -1,0 +1,69 @@
+"""CPU offload pool."""
+
+import numpy as np
+import pytest
+
+from repro.memory.host_pool import HostBufferPool
+
+
+class TestOffloadFetch:
+    def test_roundtrip_bitwise(self, rng):
+        pool = HostBufferPool()
+        arr = rng.standard_normal((8, 4))
+        pool.offload("k", arr)
+        back = pool.fetch("k")
+        np.testing.assert_array_equal(back, arr)
+
+    def test_offload_copies_not_aliases(self, rng):
+        pool = HostBufferPool()
+        arr = rng.standard_normal(4)
+        original = arr.copy()
+        pool.offload("k", arr)
+        arr[:] = 0.0  # device buffer overwritten (the reuse hazard)
+        np.testing.assert_array_equal(pool.fetch("k"), original)
+
+    def test_fetch_discard_frees_bytes(self, rng):
+        pool = HostBufferPool()
+        pool.offload("k", rng.standard_normal(100))
+        assert pool.bytes_used == 800
+        pool.fetch("k")
+        assert pool.bytes_used == 0
+        assert "k" not in pool
+
+    def test_fetch_keep_retains(self, rng):
+        pool = HostBufferPool()
+        pool.offload("k", rng.standard_normal(10))
+        a = pool.fetch("k", discard=False)
+        b = pool.fetch("k")
+        np.testing.assert_array_equal(a, b)
+
+    def test_duplicate_key_rejected(self, rng):
+        pool = HostBufferPool()
+        pool.offload("k", rng.standard_normal(2))
+        with pytest.raises(KeyError):
+            pool.offload("k", rng.standard_normal(2))
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            HostBufferPool().fetch("nope")
+
+    def test_capacity_enforced(self, rng):
+        pool = HostBufferPool(capacity=100)
+        with pytest.raises(MemoryError):
+            pool.offload("k", rng.standard_normal(100))
+
+    def test_peak_and_counters(self, rng):
+        pool = HostBufferPool()
+        pool.offload("a", rng.standard_normal(10))
+        pool.offload("b", rng.standard_normal(10))
+        pool.fetch("a")
+        assert pool.peak_bytes == 160
+        assert pool.num_offloads == 2
+        assert pool.num_fetches == 1
+        assert len(pool) == 1
+
+    def test_clear(self, rng):
+        pool = HostBufferPool()
+        pool.offload("a", rng.standard_normal(10))
+        pool.clear()
+        assert pool.bytes_used == 0 and len(pool) == 0

@@ -1,0 +1,85 @@
+"""Table II strategies."""
+
+import pytest
+
+from repro.memory.strategies import (
+    RestoreMethod,
+    STRATEGIES,
+    Strategy,
+    get_strategy,
+    strategy_names,
+)
+
+
+class TestTableII:
+    """The exact Table II rows."""
+
+    @pytest.mark.parametrize(
+        "name,q_fw,q_bw",
+        [
+            ("none", (2, 2, 0), (4, 2, 0)),
+            ("S1", (2, 2, 5), (4, 2, 5)),
+            ("S2", (2, 2, 4), (4, 3, 4)),
+            ("S3", (2, 2, 1), (5, 2, 1)),
+            ("S4", (2, 2, 0), (5, 3, 0)),
+        ],
+    )
+    def test_workload_vectors(self, name, q_fw, q_bw):
+        s = STRATEGIES[name]
+        assert s.q_fw == q_fw and s.q_bw == q_bw
+
+    @pytest.mark.parametrize(
+        "name,tdi,tm",
+        [
+            ("S1", RestoreMethod.OFFLOAD, RestoreMethod.OFFLOAD),
+            ("S2", RestoreMethod.RECOMM, RestoreMethod.OFFLOAD),
+            ("S3", RestoreMethod.OFFLOAD, RestoreMethod.RECOMPUTE),
+            ("S4", RestoreMethod.RECOMM, RestoreMethod.RECOMPUTE),
+        ],
+    )
+    def test_restore_methods(self, name, tdi, tm):
+        s = STRATEGIES[name]
+        assert s.tdi is tdi and s.tm is tm
+
+    def test_mem_stream_usage(self):
+        # S1-S3 run PCIe copies concurrently (the mu_all / eta_all rows);
+        # none and S4 do not.
+        assert not STRATEGIES["none"].uses_mem_stream
+        assert STRATEGIES["S1"].uses_mem_stream
+        assert STRATEGIES["S2"].uses_mem_stream
+        assert STRATEGIES["S3"].uses_mem_stream
+        assert not STRATEGIES["S4"].uses_mem_stream
+
+    def test_generalized_workload_recovers_table_at_h4m(self):
+        for s in STRATEGIES.values():
+            q_fw, q_bw = s.workload(4.0)
+            assert q_fw == tuple(float(x) for x in s.q_fw)
+            assert q_bw == tuple(float(x) for x in s.q_bw)
+
+    def test_generalized_workload_other_ratio(self):
+        q_fw, q_bw = STRATEGIES["S1"].workload(2.0)
+        assert q_fw == (2.0, 2.0, 3.0)  # TDI(1) + TM(H/M=2)
+        assert q_bw == (4.0, 2.0, 3.0)
+
+
+class TestStrategyApi:
+    def test_names_order(self):
+        assert strategy_names() == ["none", "S1", "S2", "S3", "S4"]
+        assert strategy_names(reuse_only=True) == ["S1", "S2", "S3", "S4"]
+
+    def test_get_strategy(self):
+        assert get_strategy("S3").name == "S3"
+        with pytest.raises(KeyError):
+            get_strategy("S5")
+
+    def test_reuses_memory_flag(self):
+        assert not STRATEGIES["none"].reuses_memory
+        assert all(STRATEGIES[s].reuses_memory for s in strategy_names(True))
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy("bad", RestoreMethod.RECOMPUTE, RestoreMethod.KEEP,
+                     (2, 2, 0), (4, 2, 0))
+        with pytest.raises(ValueError):
+            Strategy("bad", RestoreMethod.KEEP, RestoreMethod.RECOMM,
+                     (2, 2, 0), (4, 2, 0))

@@ -1,0 +1,233 @@
+"""The pipelined middle engine: numerical equivalence for every
+(n, strategy) combination, restoration correctness, metering hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core.experts import ExpertFFN
+from repro.memory.host_pool import HostBufferPool
+from repro.pipeline.executor import (
+    MiddleContext,
+    PipelinedMoEMiddle,
+    middle_autograd,
+    reference_middle,
+)
+from repro.sim.memory_allocator import CachingAllocator
+from repro.tensor import Tensor
+
+W, EPER, C, M, H = 3, 2, 8, 5, 7
+
+
+@pytest.fixture
+def experts():
+    return [
+        [ExpertFFN(M, H, activation="gelu", seed=r * 10 + e) for e in range(EPER)]
+        for r in range(W)
+    ]
+
+
+@pytest.fixture
+def ti(rng):
+    return rng.standard_normal((W, W, EPER, C, M))
+
+
+def zero_all(experts):
+    for row in experts:
+        for e in row:
+            e.zero_grad()
+
+
+def run_engine(experts, ti, n, strategy, dto=None, meter=None):
+    host = HostBufferPool()
+    eng = PipelinedMoEMiddle(
+        experts, n, strategy, meter=meter, host_pool=host
+    )
+    out = eng.forward(ti.copy())
+    if dto is None:
+        eng.discard_context()
+        return out, None, None
+    dti = eng.backward(dto)
+    grads = [
+        [(e.w1.grad.copy(), e.b1.grad.copy(), e.w2.grad.copy(), e.b2.grad.copy())
+         for e in row]
+        for row in experts
+    ]
+    return out, dti, grads
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_any_granularity_matches_reference(self, experts, ti, n):
+        ref = reference_middle(ti.copy(), experts)
+        out, _, _ = run_engine(experts, ti, n, "none")
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("strategy", ["S1", "S2", "S3", "S4"])
+    def test_reuse_strategies_forward_identical(self, experts, ti, strategy):
+        ref = reference_middle(ti.copy(), experts)
+        out, _, _ = run_engine(experts, ti, 4, strategy)
+        np.testing.assert_array_equal(out, ref)  # bitwise
+
+    def test_all_to_all_layout(self, experts, ti):
+        """Output[src, dst] holds expert-processed tokens of (src -> dst)."""
+        out, _, _ = run_engine(experts, ti, 1, "none")
+        # Rank dst's expert e applied to the rows rank src sent it:
+        src, dst, e = 1, 2, 1
+        x = ti[:, dst, e].reshape(W * C, M)  # all sources' rows at dst
+        y = experts[dst][e].forward_np(x)[0].reshape(W, C, M)
+        np.testing.assert_allclose(out[src, dst, e], y[src], atol=1e-12)
+
+
+class TestBackwardEquivalence:
+    @pytest.mark.parametrize(
+        "n,strategy",
+        [(1, "none"), (2, "none"), (4, "none"),
+         (2, "S1"), (4, "S1"), (2, "S2"), (4, "S2"),
+         (2, "S3"), (4, "S3"), (2, "S4"), (8, "S4")],
+    )
+    def test_gradients_match_reference(self, experts, ti, rng, n, strategy):
+        dto = rng.standard_normal(ti.shape)
+
+        zero_all(experts)
+        _, dti_ref, grads_ref = run_engine(experts, ti, 1, "none", dto=dto)
+
+        zero_all(experts)
+        _, dti, grads = run_engine(experts, ti, n, strategy, dto=dto)
+
+        np.testing.assert_allclose(dti, dti_ref, atol=1e-10)
+        for row_a, row_b in zip(grads, grads_ref):
+            for ga, gb in zip(row_a, row_b):
+                for a, b in zip(ga, gb):
+                    np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_offload_restore_bitwise(self, experts, ti, rng):
+        """S1's offload restore is bitwise: same grads as keeping (none)."""
+        dto = rng.standard_normal(ti.shape)
+        zero_all(experts)
+        _, dti_none, _ = run_engine(experts, ti, 4, "none", dto=dto)
+        zero_all(experts)
+        _, dti_s1, _ = run_engine(experts, ti, 4, "S1", dto=dto)
+        np.testing.assert_array_equal(dti_none, dti_s1)
+
+    def test_backward_before_forward_rejected(self, experts, ti):
+        eng = PipelinedMoEMiddle(experts, 2, "none")
+        with pytest.raises(RuntimeError):
+            eng.backward(np.zeros_like(ti))
+
+    def test_backward_shape_checked(self, experts, ti):
+        eng = PipelinedMoEMiddle(experts, 2, "none")
+        eng.forward(ti.copy())
+        with pytest.raises(ValueError):
+            eng.backward(np.zeros((W, W, EPER, C, M + 1)))
+
+
+class TestReuseActuallyOverwrites:
+    def test_ring_slots_clobbered_across_partitions(self, experts, ti):
+        """With n > slots, later partitions really overwrite earlier TDI —
+        the hazard the restore strategies exist for."""
+        host = HostBufferPool()
+        eng = PipelinedMoEMiddle(experts, 4, "S4", host_pool=host)
+        eng.forward(ti.copy())
+        pool = eng._pools[0]
+        # Partition 0 and 2 share the same physical tdi slot.
+        assert pool.get("tdi", 0) is pool.get("tdi", 2)
+        assert pool.num_slots("tdi") == 2
+        assert pool.num_slots("tm") == 1
+        eng.discard_context()
+
+    def test_host_pool_cleared_after_backward(self, experts, ti, rng):
+        host = HostBufferPool()
+        eng = PipelinedMoEMiddle(experts, 4, "S1", host_pool=host)
+        eng.forward(ti.copy())
+        assert len(host) > 0
+        eng.backward(rng.standard_normal(ti.shape))
+        assert len(host) == 0
+
+    def test_offload_strategy_requires_host_pool(self, experts):
+        with pytest.raises(ValueError, match="host_pool"):
+            PipelinedMoEMiddle(experts, 2, "S1", host_pool=None)
+
+    def test_reuse_requires_n_ge_2(self, experts):
+        with pytest.raises(ValueError, match="n >= 2"):
+            PipelinedMoEMiddle(experts, 1, "S1", host_pool=HostBufferPool())
+
+
+class TestMetering:
+    def test_reuse_peak_below_none_peak(self, experts, ti, rng):
+        dto = rng.standard_normal(ti.shape)
+
+        zero_all(experts)
+        m_none = CachingAllocator()
+        run_engine(experts, ti, 4, "none", dto=dto, meter=m_none)
+
+        zero_all(experts)
+        m_s4 = CachingAllocator()
+        run_engine(experts, ti, 4, "S4", dto=dto, meter=m_s4)
+
+        assert m_s4.peak_reserved_bytes < m_none.peak_reserved_bytes
+
+    def test_meter_freed_after_backward(self, experts, ti, rng):
+        meter = CachingAllocator()
+        _, _, _ = run_engine(
+            experts, ti, 4, "S3", dto=rng.standard_normal(ti.shape), meter=meter
+        )
+        assert meter.allocated_bytes == 0
+
+
+class TestAutogradBridge:
+    def test_middle_autograd_matches_reference_layer_grads(self, experts, ti, rng):
+        dto = rng.standard_normal(ti.shape)
+
+        # Reference: explicit engine.
+        zero_all(experts)
+        _, dti_ref, _ = run_engine(experts, ti, 2, "S2", dto=dto)
+        ref_param_grads = [
+            [tuple(g.copy() for g in (e.w1.grad, e.b1.grad, e.w2.grad, e.b2.grad))
+             for e in row] for row in experts
+        ]
+
+        # Through the tape.
+        zero_all(experts)
+        ti_t = Tensor(ti.copy(), requires_grad=True)
+        eng = PipelinedMoEMiddle(experts, 2, "S2", host_pool=HostBufferPool())
+        out = middle_autograd(ti_t, eng)
+        out.backward(dto)
+        np.testing.assert_allclose(ti_t.grad, dti_ref, atol=1e-12)
+        for r, row in enumerate(experts):
+            for e_idx, e in enumerate(row):
+                for got, want in zip(
+                    (e.w1.grad, e.b1.grad, e.w2.grad, e.b2.grad),
+                    ref_param_grads[r][e_idx],
+                ):
+                    np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_inference_mode_no_tape(self, experts, ti):
+        from repro.tensor import no_grad
+
+        eng = PipelinedMoEMiddle(experts, 2, "none")
+        with no_grad():
+            out = middle_autograd(Tensor(ti), eng)
+        assert not out.requires_grad
+        eng.discard_context()
+
+
+class TestInputValidation:
+    def test_bad_ndim(self, experts):
+        eng = PipelinedMoEMiddle(experts, 1, "none")
+        with pytest.raises(ValueError, match="ndim"):
+            eng.forward(np.zeros((W, W, EPER, C)))
+
+    def test_capacity_not_divisible(self, experts, ti):
+        eng = PipelinedMoEMiddle(experts, 3, "none")  # 3 does not divide C=8
+        with pytest.raises(ValueError, match="divisible"):
+            eng.forward(ti)
+
+    def test_world_mismatch(self, experts, rng):
+        eng = PipelinedMoEMiddle(experts, 1, "none")
+        with pytest.raises(ValueError, match="world"):
+            eng.forward(rng.standard_normal((W + 1, W + 1, EPER, C, M)))
+
+    def test_uneven_expert_rows_rejected(self):
+        rows = [[ExpertFFN(M, H)], [ExpertFFN(M, H)], []]
+        with pytest.raises(ValueError, match="same number"):
+            PipelinedMoEMiddle(rows, 1, "none")

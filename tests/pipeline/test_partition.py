@@ -1,0 +1,66 @@
+"""Micro-batch partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.partition import (
+    pad_capacity,
+    partition_slices,
+    split_by_ranks,
+    split_capacity,
+)
+
+
+class TestSplitCapacity:
+    def test_even_split(self):
+        assert split_capacity(8, 4) == 2
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            split_capacity(10, 4)
+
+    def test_n_one(self):
+        assert split_capacity(5, 1) == 5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            split_capacity(8, 0)
+
+
+class TestPadCapacity:
+    def test_already_multiple(self):
+        assert pad_capacity(8, 4) == 8
+
+    def test_rounds_up(self):
+        assert pad_capacity(9, 4) == 12
+        assert pad_capacity(1, 8) == 8
+
+    def test_n_one_identity(self):
+        assert pad_capacity(7, 1) == 7
+
+
+class TestPartitionSlices:
+    def test_cover_disjoint(self):
+        slices = partition_slices(12, 3)
+        covered = []
+        for sl in slices:
+            covered.extend(range(sl.start, sl.stop))
+        assert covered == list(range(12))
+
+    def test_equal_chunks(self):
+        slices = partition_slices(16, 4)
+        assert all(sl.stop - sl.start == 4 for sl in slices)
+
+
+class TestSplitByRanks:
+    def test_groups_cover_all_ranks(self):
+        groups = split_by_ranks(8, 3)
+        flat = np.concatenate(groups)
+        np.testing.assert_array_equal(np.sort(flat), np.arange(8))
+
+    def test_group_count(self):
+        assert len(split_by_ranks(8, 4)) == 4
+
+    def test_more_groups_than_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            split_by_ranks(2, 3)

@@ -1,0 +1,129 @@
+"""Caching allocator: reuse, peaks, OOM."""
+
+import pytest
+
+from repro.sim.memory_allocator import (
+    ALLOC_GRANULARITY,
+    CachingAllocator,
+    OutOfMemoryError,
+)
+
+
+class TestBasicAccounting:
+    def test_allocate_rounds_to_granularity(self):
+        a = CachingAllocator()
+        a.allocate(1)
+        assert a.allocated_bytes == ALLOC_GRANULARITY
+
+    def test_zero_byte_allocation_still_occupies_a_block(self):
+        a = CachingAllocator()
+        a.allocate(0)
+        assert a.allocated_bytes == ALLOC_GRANULARITY
+
+    def test_free_returns_to_cache_not_device(self):
+        a = CachingAllocator()
+        h = a.allocate(1000)
+        a.free(h)
+        assert a.allocated_bytes == 0
+        assert a.reserved_bytes == 1024  # still reserved — the Fig. 2 point
+
+    def test_peak_tracking(self):
+        a = CachingAllocator()
+        h1 = a.allocate(1000)
+        h2 = a.allocate(2000)
+        a.free(h1)
+        a.free(h2)
+        assert a.peak_allocated_bytes == 1024 + 2048
+        assert a.peak_reserved_bytes == 1024 + 2048
+
+    def test_double_free_rejected(self):
+        a = CachingAllocator()
+        h = a.allocate(10)
+        a.free(h)
+        with pytest.raises(KeyError):
+            a.free(h)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            CachingAllocator().allocate(-1)
+
+
+class TestCacheReuse:
+    def test_freed_block_reused(self):
+        a = CachingAllocator()
+        h = a.allocate(4096)
+        a.free(h)
+        a.allocate(4000)  # fits in the cached 4096 block
+        assert a.stats.num_cache_hits == 1
+        assert a.reserved_bytes == 4096  # no growth
+
+    def test_best_fit_picks_smallest_sufficient(self):
+        a = CachingAllocator()
+        h1 = a.allocate(1024)
+        h2 = a.allocate(8192)
+        a.free(h1)
+        a.free(h2)
+        a.allocate(512)
+        # The 1024 block is used, leaving 8192 cached.
+        assert a.allocated_bytes == 1024
+        assert a.reserved_bytes == 1024 + 8192
+
+    def test_too_small_cached_block_not_used(self):
+        a = CachingAllocator()
+        h = a.allocate(512)
+        a.free(h)
+        a.allocate(1024)
+        assert a.stats.num_cache_hits == 0
+        assert a.reserved_bytes == 512 + 1024
+
+    def test_empty_cache_shrinks_reserved(self):
+        a = CachingAllocator()
+        h = a.allocate(2048)
+        a.free(h)
+        a.empty_cache()
+        assert a.reserved_bytes == 0
+
+    def test_ring_buffer_pattern_steady_state(self):
+        """Alternating alloc/free of equal chunks keeps reserved flat —
+        the memory-reuse behaviour of Fig. 6."""
+        a = CachingAllocator()
+        handles = [a.allocate(1 << 20) for _ in range(2)]
+        for _ in range(16):
+            a.free(handles.pop(0))
+            handles.append(a.allocate(1 << 20))
+        assert a.reserved_bytes == 2 * (1 << 20)
+
+
+class TestCapacity:
+    def test_oom_raised(self):
+        a = CachingAllocator(capacity=4096)
+        a.allocate(4096)
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(512)
+
+    def test_cache_flushed_before_oom(self):
+        a = CachingAllocator(capacity=4096)
+        h = a.allocate(2048)
+        a.free(h)
+        a.allocate(4096)  # only fits if the cached 2048 is released
+        assert a.reserved_bytes == 4096
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachingAllocator(capacity=0)
+
+    def test_reset_peaks(self):
+        a = CachingAllocator()
+        h = a.allocate(4096)
+        a.free(h)
+        a.reset_peaks()
+        assert a.peak_allocated_bytes == 0
+        assert a.peak_reserved_bytes == 4096  # reserved stays
+
+    def test_live_blocks_counter(self):
+        a = CachingAllocator()
+        h1 = a.allocate(10)
+        a.allocate(10)
+        assert a.num_live_blocks == 2
+        a.free(h1)
+        assert a.num_live_blocks == 1

@@ -1,0 +1,46 @@
+"""Chrome-trace export."""
+
+import json
+
+from repro.hardware.interference import StreamKind
+from repro.sim.engine import OpRecord
+from repro.sim.trace import save_chrome_trace, to_chrome_trace
+
+
+def _records():
+    return [
+        OpRecord("S0", 0, StreamKind.COMM, "S", 0.0, 1e-3),
+        OpRecord("C0", 0, StreamKind.COMP, "C", 1e-3, 3e-3),
+        OpRecord("D0", 1, StreamKind.MEM, "D", 0.0, 2e-3),
+    ]
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self):
+        doc = json.loads(to_chrome_trace(_records()))
+        assert "traceEvents" in doc
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+
+    def test_time_scaling_to_microseconds(self):
+        doc = json.loads(to_chrome_trace(_records()))
+        c0 = next(e for e in doc["traceEvents"] if e["name"] == "C0")
+        assert c0["ts"] == 1e-3 * 1e6
+        assert c0["dur"] == 2e-3 * 1e6
+
+    def test_lane_thread_ids(self):
+        doc = json.loads(to_chrome_trace(_records()))
+        s0 = next(e for e in doc["traceEvents"] if e["name"] == "S0")
+        c0 = next(e for e in doc["traceEvents"] if e["name"] == "C0")
+        assert s0["tid"] != c0["tid"]
+        assert s0["pid"] == c0["pid"] == 0
+
+    def test_thread_name_metadata_per_device(self):
+        doc = json.loads(to_chrome_trace(_records()))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2 * 3  # 2 devices x 3 lanes
+
+    def test_save_to_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(_records(), str(path))
+        assert json.loads(path.read_text())["traceEvents"]

@@ -1,0 +1,47 @@
+"""MPipeMoE's two strategy-selection paths (trial-based vs Eq. 10)."""
+
+import pytest
+
+from repro.config import MOE_GPT3_XL
+from repro.systems import MPipeMoEModel
+from repro.systems.base import SystemContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return SystemContext(world_size=64)
+
+
+class TestSelectionPaths:
+    def test_sim_selection_is_default(self, ctx):
+        assert MPipeMoEModel(ctx).sim_selection
+
+    def test_both_paths_produce_valid_strategies(self, ctx):
+        for sim in (True, False):
+            model = MPipeMoEModel(ctx, fixed_n=4, sim_selection=sim)
+            rep = model.evaluate(MOE_GPT3_XL, 16384)
+            assert rep.strategy in ("S1", "S2", "S3", "S4")
+
+    def test_sim_selection_never_worse_than_eq10(self, ctx):
+        """The trial-based choice optimizes the simulated objective, so it
+        can only match or beat the closed-form pick on that objective."""
+        trial = MPipeMoEModel(ctx, fixed_n=4, sim_selection=True)
+        closed = MPipeMoEModel(ctx, fixed_n=4, sim_selection=False)
+        for batch in (4096, 16384):
+            t_trial = trial.evaluate(MOE_GPT3_XL, batch).iteration_time
+            t_closed = closed.evaluate(MOE_GPT3_XL, batch).iteration_time
+            assert t_trial <= t_closed * 1.0001
+
+    def test_memory_identical_across_paths(self, ctx):
+        """Eq. 5 savings depend on n only, not on which strategy restores."""
+        a = MPipeMoEModel(ctx, fixed_n=4, sim_selection=True).evaluate(
+            MOE_GPT3_XL, 16384
+        )
+        b = MPipeMoEModel(ctx, fixed_n=4, sim_selection=False).evaluate(
+            MOE_GPT3_XL, 16384
+        )
+        assert a.peak_memory_bytes == b.peak_memory_bytes
+
+    def test_n1_degenerates_to_none(self, ctx):
+        rep = MPipeMoEModel(ctx, fixed_n=1).evaluate(MOE_GPT3_XL, 8192)
+        assert rep.strategy == "none"

@@ -1,0 +1,207 @@
+"""Core Tensor mechanics: construction, tape, backward accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional as F
+
+
+class TestConstruction:
+    def test_wraps_numpy_without_copy(self):
+        arr = np.ones((3, 2))
+        t = Tensor(arr)
+        assert t.numpy() is arr
+
+    def test_shape_dtype_size(self):
+        t = Tensor(np.zeros((4, 5), dtype=np.float32))
+        assert t.shape == (4, 5)
+        assert t.ndim == 2
+        assert t.size == 20
+        assert t.dtype == np.float32
+        assert t.nbytes == 80
+
+    def test_float16_promoted(self):
+        t = Tensor(np.zeros(3, dtype=np.float16))
+        assert t.dtype == np.float32
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.arange(3), requires_grad=True)
+
+    def test_repr_mentions_grad(self):
+        t = Tensor(np.zeros(2), requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        y = x.sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward()
+
+    def test_explicit_cotangent(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 6.0, 9.0])
+
+    def test_cotangent_shape_checked(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(4))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x uses x through two paths.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = (x * x + x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        z = x * 3.0
+        y = (z + z).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        z = (y * 3.0).sum()
+        assert not z.requires_grad
+
+    def test_non_grad_leaf_receives_no_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        c = Tensor(np.ones(2))
+        (x * c).sum().backward()
+        assert c.grad is None
+        assert x.grad is not None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestNoGrad:
+    def test_context_disables_tape(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_reentrant_and_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestOperatorSugar:
+    def test_add_scalar_both_sides(self):
+        x = Tensor(np.array([1.0]))
+        np.testing.assert_allclose((x + 1.0).data, [2.0])
+        np.testing.assert_allclose((1.0 + x).data, [2.0])
+
+    def test_sub_rsub(self):
+        x = Tensor(np.array([1.0]))
+        np.testing.assert_allclose((x - 3.0).data, [-2.0])
+        np.testing.assert_allclose((3.0 - x).data, [2.0])
+
+    def test_div_rdiv(self):
+        x = Tensor(np.array([2.0]))
+        np.testing.assert_allclose((x / 4.0).data, [0.5])
+        np.testing.assert_allclose((4.0 / x).data, [2.0])
+
+    def test_neg_pow(self):
+        x = Tensor(np.array([2.0]))
+        np.testing.assert_allclose((-x).data, [-2.0])
+        np.testing.assert_allclose((x**3).data, [8.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_transpose_property(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.T.shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(t[1].data, [3.0, 4.0, 5.0])
+
+    def test_mean_and_sum_methods(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum().item() == 15.0
+        assert t.mean().item() == 2.5
+        np.testing.assert_allclose(t.sum(axis=0).data, [3.0, 5.0, 7.0])
+        np.testing.assert_allclose(
+            t.mean(axis=1, keepdims=True).data, [[1.0], [4.0]]
+        )
+
+    def test_reshape_tuple_or_args(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+
+class TestStackConcat:
+    def test_stack(self):
+        from repro.tensor.tensor import stack
+
+        parts = [Tensor(np.full(3, float(i))) for i in range(4)]
+        s = stack(parts, axis=0)
+        assert s.shape == (4, 3)
+        np.testing.assert_allclose(s.data[2], 2.0)
+
+    def test_concatenate_backward_splits(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        c = F.concatenate([a, b], axis=0)
+        c.backward(np.arange(5.0))
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0, 4.0])

@@ -1,0 +1,44 @@
+"""Synthetic token dataset."""
+
+import numpy as np
+import pytest
+
+from repro.train.data import SyntheticTokenDataset
+
+
+class TestDataset:
+    def test_shapes_per_rank(self):
+        ds = SyntheticTokenDataset(d_model=8, world_size=3, batch=16)
+        xs = ds.batches(0)
+        assert len(xs) == 3
+        assert all(x.shape == (16, 8) for x in xs)
+
+    def test_deterministic_per_step(self):
+        ds = SyntheticTokenDataset(8, 2, batch=4, seed=9)
+        np.testing.assert_array_equal(ds.batches(3)[0], ds.batches(3)[0])
+
+    def test_steps_and_ranks_differ(self):
+        ds = SyntheticTokenDataset(8, 2, batch=4, seed=9)
+        assert not np.allclose(ds.batches(0)[0], ds.batches(1)[0])
+        assert not np.allclose(ds.batches(0)[0], ds.batches(0)[1])
+
+    def test_targets_differ_from_inputs(self):
+        ds = SyntheticTokenDataset(8, 1, batch=4)
+        assert not np.allclose(ds.batches(0)[0], ds.targets(0)[0])
+
+    def test_batch_schedule_cycles(self):
+        ds = SyntheticTokenDataset(8, 1, batch=[4, 8, 16])
+        assert [ds.batch_size(i) for i in range(5)] == [4, 8, 16, 4, 8]
+        assert ds.batches(2)[0].shape == (16, 8)
+
+    def test_iterator_protocol(self):
+        ds = SyntheticTokenDataset(4, 2, batch=3)
+        it = iter(ds)
+        xs, ys = next(it)
+        assert len(xs) == 2 and len(ys) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenDataset(0, 1)
+        with pytest.raises(ValueError):
+            SyntheticTokenDataset(4, 1, batch=0)

@@ -1,0 +1,100 @@
+"""Adam and SGD against reference update formulas."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.train.optimizer import Adam, SGD
+
+
+def param(values):
+    return Tensor(np.asarray(values, dtype=np.float64), requires_grad=True)
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.array([1.0])
+            opt.step()
+        # v1 = 1; x1 = -1. v2 = 0.9 + 1 = 1.9; x2 = -2.9.
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_none_grad_skipped(self):
+        p = param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        p = param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([])
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(1))])
+
+    def test_state_elems(self):
+        p = param(np.zeros(10))
+        assert SGD([p]).model_state_elems() == 20  # param + grad
+        assert SGD([p], momentum=0.9).model_state_elems() == 30
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction the first Adam step is ~lr * sign(grad)."""
+        p = param([1.0, -1.0])
+        p.grad = np.array([0.3, -0.7])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [0.99, -0.99], atol=1e-6)
+
+    def test_matches_reference_implementation(self, rng):
+        p = param(rng.standard_normal(6))
+        ref = p.data.copy()
+        opt = Adam([p], lr=3e-3, betas=(0.9, 0.999), eps=1e-8)
+        m = np.zeros(6)
+        v = np.zeros(6)
+        for t in range(1, 6):
+            g = rng.standard_normal(6)
+            p.grad = g.copy()
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            mhat = m / (1 - 0.9**t)
+            vhat = v / (1 - 0.999**t)
+            ref -= 3e-3 * mhat / (np.sqrt(vhat) + 1e-8)
+            np.testing.assert_allclose(p.data, ref, atol=1e-12)
+
+    def test_weight_decay(self):
+        p = param([10.0])
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=0.1).step()
+        assert p.data[0] < 10.0
+
+    def test_eq1_four_x_accounting(self):
+        """Adam's states realize Eq. 1's 4x: param + grad + m + v."""
+        p = param(np.zeros(100))
+        assert Adam([p]).model_state_elems() == 400
+
+    def test_validation(self):
+        p = param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))

@@ -1,0 +1,84 @@
+"""End-to-end training through the MoE layer."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.train import Adam, SyntheticTokenDataset, Trainer
+
+
+def make_trainer(steps_batch=12, **layer_kw):
+    kwargs = dict(
+        d_model=12,
+        d_hidden=24,
+        num_experts=8,
+        world_size=4,
+        pipeline=True,
+        memory_reuse=True,
+        num_partitions=2,
+        strategy="S4",
+        seed=3,
+    )
+    kwargs.update(layer_kw)
+    layer = repro.MoELayer(**kwargs)
+    ds = SyntheticTokenDataset(12, 4, batch=steps_batch, seed=1, scale=0.5,
+                               fixed=True)
+    return Trainer(layer, ds, Adam(layer.parameters(), lr=3e-3))
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        trainer = make_trainer()
+        history = trainer.train(12)
+        first = np.mean([h.loss for h in history[:3]])
+        last = np.mean([h.loss for h in history[-3:]])
+        assert last < first
+
+    def test_history_recorded(self):
+        trainer = make_trainer()
+        trainer.train(3)
+        assert len(trainer.history) == 3
+        assert trainer.history[0].strategy == "S4"
+        assert trainer.history[0].num_partitions == 2
+
+    def test_dynamics_identical_across_strategies(self):
+        """Pipelining + reuse must not change *training dynamics*."""
+        losses = {}
+        for strat in ("S1", "S4"):
+            trainer = make_trainer(strategy=strat)
+            losses[strat] = [h.loss for h in trainer.train(4)]
+        baseline = make_trainer(pipeline=False, memory_reuse=False,
+                                num_partitions=None, strategy=None)
+        losses["ref"] = [h.loss for h in baseline.train(4)]
+        np.testing.assert_allclose(losses["S1"], losses["ref"], rtol=1e-9)
+        np.testing.assert_allclose(losses["S4"], losses["ref"], rtol=1e-9)
+
+    def test_dynamic_batch_sizes_with_adaptive_n(self):
+        layer = repro.MoELayer(
+            d_model=12, d_hidden=24, num_experts=8, world_size=4,
+            pipeline=True, memory_reuse=False,
+            candidate_partitions=(1, 2, 4), seed=3,
+        )
+        ds = SyntheticTokenDataset(12, 4, batch=[8, 16, 32], seed=1)
+        trainer = Trainer(layer, ds)
+        history = trainer.train(6)
+        assert {h.num_partitions for h in history} <= {1, 2, 4}
+
+    def test_world_mismatch_rejected(self):
+        layer = repro.MoELayer(d_model=12, d_hidden=24, num_experts=8,
+                               world_size=4, seed=0)
+        ds = SyntheticTokenDataset(12, 2, batch=8)
+        with pytest.raises(ValueError):
+            Trainer(layer, ds)
+
+    def test_d_model_mismatch_rejected(self):
+        layer = repro.MoELayer(d_model=12, d_hidden=24, num_experts=8,
+                               world_size=2, seed=0)
+        ds = SyntheticTokenDataset(16, 2, batch=8)
+        with pytest.raises(ValueError):
+            Trainer(layer, ds)
+
+    def test_aux_loss_reported_positive(self):
+        trainer = make_trainer()
+        result = trainer.step(0)
+        assert result.aux_loss > 0

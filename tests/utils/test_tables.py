@@ -1,0 +1,36 @@
+"""Plain-text table renderer."""
+
+import pytest
+
+from repro.utils import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["model", "speedup"])
+        t.add_row(["GPT-S", 1.5])
+        t.add_row(["GPT-XL-long-name", 2.25])
+        out = t.render()
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_included(self):
+        t = Table(["a"], title="Figure 8")
+        t.add_row([1.0])
+        assert t.render().startswith("Figure 8")
+
+    def test_wrong_arity_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([1.23456789])
+        assert "1.235" in t.render()
+
+    def test_str_dunder(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert str(t) == t.render()

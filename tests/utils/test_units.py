@@ -1,0 +1,30 @@
+"""Unit constants and formatting."""
+
+from repro.utils import GIB, MIB, KIB, GBPS, GBITPS, TFLOPS, fmt_bytes, fmt_time
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_bandwidth_units(self):
+        assert GBPS == 1e9
+        assert GBITPS == 1e9 / 8
+
+    def test_tflops(self):
+        assert TFLOPS == 1e12
+
+
+class TestFormatting:
+    def test_fmt_bytes_ranges(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2 * KIB) == "2.00 KiB"
+        assert fmt_bytes(3 * MIB) == "3.00 MiB"
+        assert fmt_bytes(40 * GIB) == "40.00 GiB"
+
+    def test_fmt_time_ranges(self):
+        assert fmt_time(2.5) == "2.500 s"
+        assert fmt_time(0.0035).endswith("ms")
+        assert fmt_time(5e-6).endswith("us")
