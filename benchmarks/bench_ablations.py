@@ -10,62 +10,70 @@ motivates and shows its standalone contribution on GPT-XL at 64 GPUs:
   batch-size stream — what Algorithm 1 buys end-to-end;
 * pipeline overlap vs sequential execution with identical stage costs —
   the raw value of overlapping (Fig. 4);
-* ring-slot counts: the 2/2/1 slot layout of Fig. 6 vs a naive
-  1-slot-per-role variant, which would serialize comm and compute
-  (memory saving vs achievable overlap trade-off).
+
+Every operating point is a scenario of the sweep subsystem's timeline
+backend; the ad-hoc loops collapse into three grid declarations and the
+adaptive study replays Algorithm 1 over the sweep's (batch, n) lookup.
 """
 
-from repro.comm.cost import NcclCostModel
-from repro.config import DGX_A100_CLUSTER, MOE_GPT3_XL
-from repro.hardware.device import A100_SXM_40GB
-from repro.hardware.topology import ClusterTopology
 from repro.pipeline.granularity import GranularitySearcher
-from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.sweep import ScenarioGrid, SweepRunner, evaluate_timeline
 from repro.utils import Table
 
 from conftest import emit, run_once
 
 WORLD = 64
+BATCHES = (4096, 16384)
+#: Dynamic batch-size stream for the adaptive-granularity study.
+STREAM = (4096, 16384, 24576, 8192, 32768, 6144)
+CANDIDATES = (1, 2, 4, 8)
 
-
-def setup():
-    topo = ClusterTopology(DGX_A100_CLUSTER)
-    return NcclCostModel(topo, WORLD)
-
-
-def iteration(comm, batch, n, decomposed=False, sequential=False, strategy="none"):
-    costs = MoEStageCosts.compute(MOE_GPT3_XL, batch, n, A100_SXM_40GB, comm)
-    ops = build_timeline(
-        costs, n, strategy=strategy,
-        decomposed_comm=decomposed, sequential=sequential,
-    )
-    return timeline_makespan(ops).makespan
+DECOMPOSITION_GRID = ScenarioGrid(
+    systems=("timeline",), world_sizes=(WORLD,), batches=BATCHES,
+    ns=(4,), decomposed=(False, True),
+)
+OVERLAP_GRID = ScenarioGrid(
+    systems=("timeline",), world_sizes=(WORLD,), batches=BATCHES,
+    ns=(4,), sequential=(False, True),
+)
+GRANULARITY_GRID = ScenarioGrid(
+    systems=("timeline",), world_sizes=(WORLD,), batches=sorted(STREAM),
+    ns=CANDIDATES,
+)
 
 
 def compute():
-    comm = setup()
+    runner = SweepRunner(evaluate=evaluate_timeline)
+    sweep = runner.run(DECOMPOSITION_GRID + OVERLAP_GRID + GRANULARITY_GRID)
+    t = {
+        (
+            r.scenario.batch, r.scenario.n,
+            r.scenario.decomposed_comm, r.scenario.sequential,
+        ): r["makespan"]
+        for r in sweep
+    }
     rows = []
 
     # 1. split-by-B vs split-by-N at identical granularity.
-    for batch in (4096, 16384):
-        fused = iteration(comm, batch, 4)
-        p2p = iteration(comm, batch, 4, decomposed=True)
+    for batch in BATCHES:
+        fused = t[(batch, 4, False, False)]
+        p2p = t[(batch, 4, True, False)]
         rows.append(("split-by-B vs split-by-N", f"B={batch}", p2p / fused))
 
     # 2. overlap vs sequential at identical stage costs.
-    for batch in (4096, 16384):
-        seq = iteration(comm, batch, 4, sequential=True)
-        pipe = iteration(comm, batch, 4)
+    for batch in BATCHES:
+        seq = t[(batch, 4, False, True)]
+        pipe = t[(batch, 4, False, False)]
         rows.append(("overlap vs sequential", f"B={batch}", seq / pipe))
 
     # 3. adaptive vs fixed n over a dynamic batch stream.
-    stream = [4096, 16384, 24576, 8192, 32768, 6144]
-    searcher = GranularitySearcher(
-        evaluate=lambda b, n: iteration(comm, b, n), candidates=(1, 2, 4, 8)
-    )
-    adaptive_total = sum(iteration(comm, b, searcher.configure(b)) for b in stream)
+    def iteration(batch, n):
+        return t[(batch, n, False, False)]
+
+    searcher = GranularitySearcher(evaluate=iteration, candidates=CANDIDATES)
+    adaptive_total = sum(iteration(b, searcher.configure(b)) for b in STREAM)
     fixed_totals = {
-        n: sum(iteration(comm, b, n) for b in stream) for n in (1, 2, 4, 8)
+        n: sum(iteration(b, n) for b in STREAM) for n in CANDIDATES
     }
     best_fixed = min(fixed_totals.values())
     worst_fixed = max(fixed_totals.values())

@@ -5,63 +5,59 @@ PipeMoE and MPipeMoE in (memory footprint, training time) space.  The
 closer to the origin the better: MPipeMoE dominates both baselines, and
 the MPipeMoE point trades a little time (reuse overhead) for the lowest
 memory.
+
+Declared as a sweep grid: the five systems are five scenarios of one
+:class:`~repro.sweep.ScenarioGrid` study, and the frontier claim is the
+sweep subsystem's own :func:`~repro.sweep.pareto_front`.
 """
 
-from repro.config import MOE_GPT3_XL
-from repro.systems import (
-    FastMoEModel,
-    FasterMoEModel,
-    MPipeMoEModel,
-    PipeMoEModel,
-)
-from repro.utils import Table
+from repro.sweep import ScenarioGrid, SweepRunner, pareto_front, sweep_table
 
 from conftest import emit, run_once
 
 BATCH = 16384
 
-
-def compute(ctx):
-    systems = [
-        FastMoEModel(ctx),
-        FasterMoEModel(ctx),
-        PipeMoEModel(ctx, fixed_n=4),
-        PipeMoEModel(ctx),
-        MPipeMoEModel(ctx),
-    ]
-    return [s.evaluate(MOE_GPT3_XL, BATCH) for s in systems]
+GRID = (
+    ScenarioGrid(systems=("fastmoe", "fastermoe"), batches=(BATCH,))
+    + ScenarioGrid(systems=("pipemoe",), ns=(4, None), batches=(BATCH,))
+    + ScenarioGrid(systems=("mpipemoe",), batches=(BATCH,))
+)
 
 
-def test_fig11_pareto(benchmark, paper_world):
-    reports = run_once(benchmark, lambda: compute(paper_world))
-    table = Table(
-        ["system", "memory (MB)", "time (ms)", "n", "strategy"],
+def test_fig11_pareto(benchmark):
+    results = run_once(benchmark, lambda: SweepRunner().run(GRID))
+    table = sweep_table(
+        results,
+        [
+            "system",
+            ("memory (MB)", lambda r: r["peak_memory_bytes"] / 1e6),
+            ("time (ms)", lambda r: r["iteration_time"] * 1e3),
+            "n",
+            "strategy",
+        ],
         title=f"Fig. 11 — memory-time coordinates, GPT-XL (B={BATCH})",
     )
-    for rep in reports:
-        table.add_row(
-            [
-                rep.system,
-                rep.peak_memory_bytes / 1e6,
-                rep.iteration_time * 1e3,
-                rep.num_partitions,
-                rep.strategy,
-            ]
-        )
     emit("fig11_pareto", table)
 
-    by_name = {r.system: r for r in reports}
+    by_name = {r["system"]: r for r in results}
     fast, faster = by_name["FastMoE"], by_name["FasterMoE"]
     pipe4, pipe = by_name["PipeMoE(n=4)"], by_name["PipeMoE"]
     mpipe = by_name["MPipeMoE"]
 
     # MPipeMoE strictly dominates both baselines (closer to the origin).
     for baseline in (fast, faster):
-        assert mpipe.iteration_time < baseline.iteration_time
-        assert mpipe.peak_memory_bytes < baseline.peak_memory_bytes
+        assert mpipe["iteration_time"] < baseline["iteration_time"]
+        assert mpipe["peak_memory_bytes"] < baseline["peak_memory_bytes"]
     # Adaptive PipeMoE is at least as fast as the pinned n=4 variant.
-    assert pipe.iteration_time <= pipe4.iteration_time * 1.0001
+    assert pipe["iteration_time"] <= pipe4["iteration_time"] * 1.0001
     # MPipeMoE achieves the lowest memory of all systems.
-    assert mpipe.peak_memory_bytes == min(r.peak_memory_bytes for r in reports)
+    assert mpipe["peak_memory_bytes"] == min(
+        r["peak_memory_bytes"] for r in results
+    )
     # ... paying only a bounded time overhead over pure PipeMoE.
-    assert mpipe.iteration_time <= pipe.iteration_time * 1.35
+    assert mpipe["iteration_time"] <= pipe["iteration_time"] * 1.35
+
+    # The Fig. 11 frontier: both baselines are dominated, MPipeMoE is on it.
+    front = {r["system"] for r in pareto_front(results)}
+    assert "MPipeMoE" in front
+    assert not {"FastMoE", "FasterMoE"} & front

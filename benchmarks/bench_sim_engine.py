@@ -1,0 +1,109 @@
+"""SimEngine fast-path speedup benchmark.
+
+Builds a large synthetic multi-device MoE-style DAG (per-device S/C/R
+micro-op chains on comm/comp/mem lanes with periodic cross-device
+barriers — the shape ``build_timeline`` produces, scaled to cluster
+size), runs it through both the production :class:`SimEngine` and the
+retained :class:`ReferenceSimEngine`, and reports wall-clock speedup.
+
+The two engines must agree on the makespan to 1e-9; in full mode the
+fast path must be at least 5x faster on the 10k-op DAG (the PR's
+acceptance bar).  ``--quick`` shrinks the DAG for CI smoke runs and
+only checks agreement.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sim_engine.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.hardware.interference import StreamKind
+from repro.sim.engine import Op, ReferenceSimEngine, SimEngine
+from repro.utils import Table
+
+REQUIRED_SPEEDUP = 5.0
+
+
+def build_dag(num_ops: int, devices: int, seed: int = 0) -> list[Op]:
+    """Deterministic layered DAG of ~``num_ops`` ops across ``devices``."""
+    rng = random.Random(seed)
+    ops: list[Op] = []
+    barrier = None
+    stage = 0
+    while len(ops) < num_ops:
+        stage_r: list[Op] = []
+        for dev in range(devices):
+            s_deps = (barrier,) if barrier is not None else ()
+            s = Op(f"S{stage}d{dev}", dev, StreamKind.COMM,
+                   rng.uniform(0.5, 1.5), s_deps, tag="S")
+            c = Op(f"C{stage}d{dev}", dev, StreamKind.COMP,
+                   rng.uniform(1.0, 3.0), (s,), tag="C")
+            r = Op(f"R{stage}d{dev}", dev, StreamKind.COMM,
+                   rng.uniform(0.5, 1.5), (c,), tag="R")
+            ops += [s, c, r]
+            stage_r.append(r)
+            if rng.random() < 0.3:
+                ops.append(
+                    Op(f"D{stage}d{dev}", dev, StreamKind.MEM,
+                       rng.uniform(0.2, 1.0), (c,), tag="D")
+                )
+        # Cross-device sync every few stages, like an optimizer step or
+        # the loss boundary between forward and backward.
+        if stage % 4 == 3:
+            barrier = Op(f"B{stage}", 0, StreamKind.COMP, 0.0,
+                         tuple(stage_r), tag="X")
+            ops.append(barrier)
+        stage += 1
+    return ops
+
+
+def time_engine(engine, ops: list[Op]) -> tuple[float, float]:
+    """(wall seconds, simulated makespan) of one run."""
+    t0 = time.perf_counter()
+    result = engine.run(ops)
+    return time.perf_counter() - t0, result.makespan
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=10_000,
+                        help="approximate DAG size (default 10000)")
+    parser.add_argument("--devices", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small DAG, agreement check only (CI smoke)")
+    args = parser.parse_args(argv)
+
+    num_ops = 2_000 if args.quick else args.ops
+    ops = build_dag(num_ops, args.devices, args.seed)
+    print(f"DAG: {len(ops)} ops on {args.devices} devices "
+          f"({'quick' if args.quick else 'full'} mode)")
+
+    fast_wall, fast_makespan = time_engine(SimEngine(), ops)
+    ref_wall, ref_makespan = time_engine(ReferenceSimEngine(), ops)
+    speedup = ref_wall / fast_wall
+
+    table = Table(["engine", "wall (s)", "makespan (s)"],
+                  title=f"SimEngine fast path vs reference, {len(ops)}-op DAG")
+    table.add_row(["SimEngine (fast)", fast_wall, fast_makespan])
+    table.add_row(["ReferenceSimEngine", ref_wall, ref_makespan])
+    print(table)
+    print(f"speedup: {speedup:.2f}x")
+
+    if abs(fast_makespan - ref_makespan) > 1e-9 * max(1.0, abs(ref_makespan)):
+        print("FAIL: engines disagree on the makespan", file=sys.stderr)
+        return 1
+    if not args.quick and speedup < REQUIRED_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x < required "
+              f"{REQUIRED_SPEEDUP:.1f}x", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 Regenerates the strategy table (restore methods, mu/eta rows, workload
 vectors Q_fw/Q_bw) from the implementation, and cross-checks the Q
 vectors against the behaviour of the functional executor: the number of
-GEMMs / All-to-Alls / PCIe copies actually performed per micro-batch
-must equal the tabulated q values.
+PCIe copies actually performed per micro-batch must equal the tabulated
+q values.  The executor cross-check sweeps the strategy axis through the
+sweep runner with a custom (module-level) evaluator.
 """
 
 import numpy as np
@@ -14,6 +15,7 @@ from repro.hardware.interference import PAPER_INTERFERENCE
 from repro.memory.host_pool import HostBufferPool
 from repro.memory.strategies import STRATEGIES, strategy_names
 from repro.pipeline.executor import PipelinedMoEMiddle
+from repro.sweep import Scenario, ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -22,8 +24,9 @@ W, EPER, C, M = 2, 1, 4, 6
 H = 4 * M
 
 
-def count_operations(strategy: str):
-    """Count actual PCIe copies and restore ops of one fw+bw run."""
+def count_offloads(scenario: Scenario) -> dict:
+    """Sweep evaluator: actual PCIe offloads per stage of one fw+bw run."""
+    strategy = scenario.strategy or "none"
     experts = [[ExpertFFN(M, H, activation="relu", seed=r)] for r in range(W)]
     rng = np.random.default_rng(0)
     ti = rng.standard_normal((W, W, EPER, C, M))
@@ -33,7 +36,12 @@ def count_operations(strategy: str):
     eng.forward(ti)
     offloads_per_stage = host.num_offloads / (n * W) if strategy != "none" else 0
     eng.backward(rng.standard_normal(ti.shape))
-    return offloads_per_stage
+    return {"offloads_per_stage": offloads_per_stage}
+
+
+STRATEGY_GRID = ScenarioGrid(
+    systems=("timeline",), strategies=strategy_names(), ns=(2,)
+)
 
 
 def compute():
@@ -53,11 +61,11 @@ def compute():
                 list(s.q_bw),
             )
         )
-    return rows
+    return rows, SweepRunner(evaluate=count_offloads).run(STRATEGY_GRID)
 
 
 def test_table2_strategies(benchmark):
-    rows = run_once(benchmark, compute)
+    rows, sweep = run_once(benchmark, compute)
     table = Table(
         ["strategy", "TDI", "TM", "mu", "eta", "Q_fw", "Q_bw"],
         title="Table II — memory reusing strategies",
@@ -70,9 +78,10 @@ def test_table2_strategies(benchmark):
     # per (rank, partition) stage, S1 offloads TDI+TM (2 host writes),
     # S2 offloads TM only, S3 offloads TDI only, S4 none.
     expected_offload_objects = {"none": 0, "S1": 2, "S2": 1, "S3": 1, "S4": 0}
-    for name, want in expected_offload_objects.items():
-        got = count_operations(name)
-        assert got == want, (name, got, want)
+    for result in sweep:
+        name = result.scenario.strategy
+        got = result["offloads_per_stage"]
+        assert got == expected_offload_objects[name], (name, got)
 
     # And the tabulated q_mem reflects those objects weighted by H/M = 4.
     weights = {"S1": 1 + 4, "S2": 4, "S3": 1, "S4": 0, "none": 0}

@@ -1,0 +1,133 @@
+"""Cluster-scale scenario study driven by the sweep subsystem.
+
+Declares a 100+-point study in four grids — the full system comparison
+over world sizes and batches, a memory-strategy ablation, a granularity
+scan, and a model-spec cross-check — fans it out over worker processes
+with on-disk caching, and post-processes the results into paper-style
+tables plus per-world-size Pareto frontiers (Fig. 11 at every scale).
+
+Re-running is nearly free: completed scenarios are cached under
+``--cache-dir`` keyed by scenario hash, so extending the grids only
+evaluates the new points.
+
+Run:  PYTHONPATH=src python examples/sweep_cluster.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.sweep import (
+    ScenarioGrid,
+    SweepRunner,
+    group_by,
+    pareto_front,
+    sweep_table,
+)
+
+WORLDS = (8, 16, 32, 64)
+BATCHES = (4096, 8192, 16384, 32768, 65536)
+
+#: Full system comparison: 4 systems x 4 world sizes x 5 batches = 80.
+COMPARISON = ScenarioGrid(
+    systems=("fastmoe", "fastermoe", "pipemoe", "mpipemoe"),
+    world_sizes=WORLDS,
+    batches=BATCHES,
+)
+#: Pinned-strategy ablation at 64 GPUs (Fig. 13's S1-S4 axis): 8 points.
+STRATEGIES = ScenarioGrid(
+    systems=("mpipemoe",), world_sizes=(64,), batches=(8192, 32768),
+    ns=(4,), strategies=("S1", "S2", "S3", "S4"),
+)
+#: Granularity scan (Fig. 12's n axis): 10 points.
+GRANULARITY = ScenarioGrid(
+    systems=("pipemoe",), world_sizes=(16, 64), batches=(16384,),
+    ns=(1, 2, 4, 8, 16),
+)
+#: Model-spec cross-check on the two smaller Table III layers: 8 points.
+SPECS = ScenarioGrid(
+    systems=("pipemoe", "mpipemoe"), specs=("GPT-S", "BERT-L"),
+    world_sizes=(64,), batches=(16384, 32768),
+)
+
+STUDY = COMPARISON + STRATEGIES + GRANULARITY + SPECS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--cache-dir", default=".sweep_cache")
+    args = parser.parse_args()
+
+    runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
+    t0 = time.perf_counter()
+    results = runner.run(STUDY)
+    wall = time.perf_counter() - t0
+    hits = sum(r.cached for r in results)
+    print(
+        f"{len(results)} scenarios in {wall:.1f}s "
+        f"({hits} cache hits, {len(results) - hits} evaluated, "
+        f"workers={args.workers})\n"
+    )
+
+    comparison = results[: len(COMPARISON)]
+    print(
+        sweep_table(
+            comparison,
+            [
+                "world_size",
+                "batch",
+                "system",
+                ("time (ms)", lambda r: r["iteration_time"] * 1e3),
+                ("memory (MB)", lambda r: r["peak_memory_bytes"] / 1e6),
+                "n",
+                "strategy",
+            ],
+            title="System comparison across cluster scales (GPT-XL)",
+        )
+    )
+
+    # Fig. 11 at every scale: the memory-time frontier per world size.
+    print("\nPareto frontiers (time, memory) per world size, B=16384:")
+    at_b = [r for r in comparison if r.scenario.batch == 16384]
+    for world, group in sorted(group_by(at_b, "world_size").items()):
+        front = pareto_front(group)
+        points = ", ".join(
+            f"{r['system']} ({r['iteration_time'] * 1e3:.1f} ms, "
+            f"{r['peak_memory_bytes'] / 1e6:.0f} MB)"
+            for r in front
+        )
+        print(f"  N={world:3d}: {points}")
+
+    # Largest-scale speedup summary.
+    biggest = group_by(
+        [r for r in comparison if r.scenario.world_size == 64], "batch"
+    )
+    print("\nMPipeMoE speedup over FastMoE at 64 GPUs:")
+    for batch, group in sorted(biggest.items()):
+        by_system = {r["system"]: r for r in group}
+        ratio = (
+            by_system["FastMoE"]["iteration_time"]
+            / by_system["MPipeMoE"]["iteration_time"]
+        )
+        print(f"  B={batch:6d}: {ratio:.2f}x")
+
+    strategies = results[len(COMPARISON): len(COMPARISON) + len(STRATEGIES)]
+    print()
+    print(
+        sweep_table(
+            strategies,
+            [
+                "batch",
+                "strategy",
+                ("time (ms)", lambda r: r["iteration_time"] * 1e3),
+                ("memory (MB)", lambda r: r["peak_memory_bytes"] / 1e6),
+            ],
+            title="Pinned memory-reuse strategies, 64 GPUs, n=4 (Fig. 13 axis)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,10 +16,22 @@ Semantics
 This reproduces the paper's cost model (Eq. 10) in the steady state
 while also capturing pipeline ramp-up/drain effects that the closed-form
 max() ignores.
+
+Two implementations share these semantics:
+
+* :class:`SimEngine` — the production fast path: a completion-event heap
+  with lazy invalidation, per-lane head cursors, and interference rates
+  recomputed only for devices whose active stream-kind set changed.
+  Per-event cost is O(affected ops + log heap) instead of a full rescan.
+* :class:`ReferenceSimEngine` — the original straight-line fluid loop
+  (rescan all lanes and recompute all rates every event).  Kept as the
+  behavioural oracle for the golden-trace tests and as the baseline that
+  ``benchmarks/bench_sim_engine.py`` measures the fast path against.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -104,15 +116,230 @@ class SimResult:
         return [r for r in self.records if r.tag == tag]
 
 
+def _validate(ops: list[Op]) -> dict[Op, list[Op]]:
+    """Check the submitted DAG and return the children adjacency.
+
+    The adjacency is built exactly once and shared by the run loop (the
+    reference engine previously rebuilt it for validation and again for
+    the dependency countdown).
+    """
+    op_set = set(ops)
+    if len(op_set) != len(ops):
+        raise ValueError("duplicate op submitted")
+    if len({op.uid for op in ops}) != len(ops):
+        # dataclasses.replace() copies uid; the fast path keys its state
+        # on uid, so distinct ops sharing one are rejected up front.
+        raise ValueError("distinct ops share a uid (copied Op?); uids must be unique")
+    children: dict[Op, list[Op]] = {}
+    for op in ops:
+        for dep in op.deps:
+            if dep not in op_set:
+                raise ValueError(
+                    f"op {op.name!r} depends on {dep.name!r} which was not submitted"
+                )
+            children.setdefault(dep, []).append(op)
+    # Cycle check via Kahn count.
+    indeg = {op: len(op.deps) for op in ops}
+    queue = [op for op, d in indeg.items() if d == 0]
+    seen = 0
+    while queue:
+        op = queue.pop()
+        seen += 1
+        for child in children.get(op, ()):
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                queue.append(child)
+    if seen != len(ops):
+        raise ValueError("dependency cycle detected in submitted ops")
+    return children
+
+
+def _deadlock_error(ops: list[Op], done: set[Op]) -> RuntimeError:
+    stuck = [op.name for op in ops if op not in done][:8]
+    return RuntimeError(
+        f"simulation deadlocked with {len(ops) - len(done)} ops pending, "
+        f"e.g. {stuck} — check for dependency cycles or cross-lane ordering"
+    )
+
+
 class SimEngine:
-    """Runs a DAG of :class:`Op` to completion and returns a :class:`SimResult`."""
+    """Runs a DAG of :class:`Op` to completion and returns a :class:`SimResult`.
+
+    Fast path: completion times live in an event heap; a heap entry is
+    valid only while its op's rate is unchanged, which the engine tracks
+    with a per-op token bumped whenever the op's device changes its
+    active stream-kind set.  Between events only the lanes unblocked by
+    the finished op and the devices whose active set changed are touched.
+    """
 
     def __init__(self, interference: InterferenceModel | None = None) -> None:
         self.interference = interference or PAPER_INTERFERENCE
 
     def run(self, ops: Sequence[Op]) -> SimResult:
         ops = list(ops)
-        self._validate(ops)
+        children = _validate(ops)
+
+        # Hot-path state is keyed by the int ``uid`` (and int lane keys):
+        # Op.__hash__ and StreamKind.__hash__ are Python-level calls, and
+        # at 10k+ ops they dominate the schedule loop.
+        kind_index = {StreamKind.COMP: 0, StreamKind.COMM: 1, StreamKind.MEM: 2}
+        kind_bit = {k: 1 << i for k, i in kind_index.items()}
+
+        # rate_table[(kind_index, active_bitmask)] -> slowdown factor,
+        # filled lazily; there are at most 3 * 8 distinct entries, so
+        # rates are recomputed only when a device's active set changes
+        # *to a combination never seen before*.
+        rate_table: dict[tuple[int, int], float] = {}
+
+        def rate_for(kidx: int, mask: int) -> float:
+            cached = rate_table.get((kidx, mask))
+            if cached is None:
+                kinds = {k for k, b in kind_bit.items() if mask & b}
+                victim = next(k for k, i in kind_index.items() if i == kidx)
+                cached = self.interference.slowdown(victim, kinds)
+                rate_table[(kidx, mask)] = cached
+            return cached
+
+        # Lane FIFO queues in submission order; lane key = device*4 + kind.
+        lanes: dict[int, list[Op]] = {}
+        for op in ops:
+            lanes.setdefault(op.device * 4 + kind_index[op.stream], []).append(op)
+        lane_pos = {key: 0 for key in lanes}
+
+        remaining_deps = {op.uid: len(op.deps) for op in ops}
+        child_map = {op.uid: children.get(op, ()) for op in ops}
+        done: set[int] = set()
+        records: list[OpRecord] = []
+        now = 0.0
+
+        # Running-op state (uid-keyed).  ``rem`` is the unfinished work,
+        # settled only when the op's rate changes; a valid heap entry
+        # therefore always predicts the true finish time.
+        rem: dict[int, float] = {}
+        rate: dict[int, float] = {}
+        synced_at: dict[int, float] = {}
+        started_at: dict[int, float] = {}
+        token: dict[int, int] = {}
+
+        # Per-device view of the running set.
+        dev_running: dict[int, list[tuple[int, int]]] = {}  # dev -> [(uid, kidx)]
+        dev_mask: dict[int, int] = {}  # dev -> active-kind bitmask
+        dirty: set[int] = set()  # devices whose active-kind set changed
+
+        heap: list[tuple[float, int, int, Op]] = []
+        pending: list[int] = list(lanes)
+
+        def complete(op: Op, start: float, end: float) -> None:
+            done.add(op.uid)
+            records.append(OpRecord(op.name, op.device, op.stream, op.tag, start, end))
+            for child in child_map[op.uid]:
+                cuid = child.uid
+                remaining_deps[cuid] -= 1
+                if remaining_deps[cuid] == 0:
+                    pending.append(child.device * 4 + kind_index[child.stream])
+
+        def try_start(key: int) -> None:
+            queue = lanes[key]
+            pos = lane_pos[key]
+            while True:
+                while pos < len(queue) and queue[pos].uid in done:
+                    pos += 1
+                lane_pos[key] = pos
+                if pos >= len(queue):
+                    return
+                op = queue[pos]
+                uid = op.uid
+                if uid in rem or remaining_deps[uid] > 0:
+                    return
+                if op.work <= _EPS:
+                    # Pure-dependency op: completes instantly and may
+                    # unblock further ops (its children's lanes join
+                    # ``pending``; this lane advances in place).
+                    complete(op, now, now)
+                    pos += 1
+                    lane_pos[key] = pos
+                    continue
+                device, kidx = key >> 2, key & 3
+                rem[uid] = op.work
+                rate[uid] = 0.0  # placeholder until the device refresh
+                synced_at[uid] = now
+                started_at[uid] = now
+                token[uid] = 0
+                dev_running.setdefault(device, []).append((uid, kidx))
+                # One lane per (device, kind) runs one op at a time, so a
+                # start always adds a new kind to the active set.
+                dev_mask[device] = dev_mask.get(device, 0) | (1 << kidx)
+                dirty.add(device)
+                heap_by_uid[uid] = op
+                return
+
+        heap_by_uid: dict[int, Op] = {}
+
+        def refresh(device: int) -> None:
+            """Re-rate the device's running ops after an active-set change."""
+            mask = dev_mask.get(device, 0)
+            for uid, kidx in dev_running.get(device, ()):
+                new_rate = rate_table.get((kidx, mask))
+                if new_rate is None:
+                    new_rate = rate_for(kidx, mask)
+                old_rate = rate[uid]
+                if new_rate == old_rate:
+                    continue  # outstanding heap entry still predicts truth
+                if old_rate > 0.0:
+                    done_work = (now - synced_at[uid]) * old_rate
+                    remaining = rem[uid] - done_work
+                    rem[uid] = remaining if remaining > 0.0 else 0.0
+                rate[uid] = new_rate
+                synced_at[uid] = now
+                tok = token[uid] + 1
+                token[uid] = tok
+                heapq.heappush(
+                    heap, (now + rem[uid] / new_rate, uid, tok, heap_by_uid[uid])
+                )
+
+        def settle_frontier() -> None:
+            """Start every startable lane head, then re-rate dirty devices."""
+            while pending:
+                try_start(pending.pop())
+            if dirty:
+                for device in dirty:
+                    refresh(device)
+                dirty.clear()
+
+        settle_frontier()
+        while heap:
+            pred_finish, uid, entry_token, op = heapq.heappop(heap)
+            if uid not in rem or entry_token != token[uid]:
+                continue  # stale: op finished or was re-rated since push
+            now = pred_finish
+            del rem[uid], rate[uid], synced_at[uid], token[uid], heap_by_uid[uid]
+            device = op.device
+            kidx = kind_index[op.stream]
+            dev_running[device].remove((uid, kidx))
+            dev_mask[device] &= ~(1 << kidx)
+            dirty.add(device)
+            complete(op, started_at.pop(uid), now)
+            pending.append(device * 4 + kidx)
+            settle_frontier()
+
+        if len(done) != len(ops):
+            done_ops = {op for op in ops if op.uid in done}
+            raise _deadlock_error(ops, done_ops)
+        records.sort(key=lambda r: (r.start, r.device, r.stream.value))
+        return SimResult(makespan=now, records=records)
+
+
+class ReferenceSimEngine:
+    """The original fluid loop: full-lane rescan and global re-rating at
+    every event.  O(lanes + running) per event — kept as the oracle the
+    fast path is proven against and benchmarked over."""
+
+    def __init__(self, interference: InterferenceModel | None = None) -> None:
+        self.interference = interference or PAPER_INTERFERENCE
+
+    def run(self, ops: Sequence[Op]) -> SimResult:
+        ops = list(ops)
+        children = _validate(ops)
 
         # Lane FIFO queues in submission order.
         lanes: dict[tuple[int, StreamKind], list[Op]] = {}
@@ -120,7 +347,7 @@ class SimEngine:
             lanes.setdefault((op.device, op.stream), []).append(op)
         lane_pos = {key: 0 for key in lanes}
 
-        remaining_deps = {op: sum(1 for d in op.deps) for op in ops}
+        remaining_deps = {op: len(op.deps) for op in ops}
         done: set[Op] = set()
         running: dict[Op, float] = {}  # op -> remaining work (seconds)
         started_at: dict[Op, float] = {}
@@ -166,12 +393,6 @@ class SimEngine:
                         running[op] = op.work
                         started_at[op] = now
 
-        # Reverse adjacency for dependency countdown.
-        children: dict[Op, list[Op]] = {}
-        for op in ops:
-            for dep in op.deps:
-                children.setdefault(dep, []).append(op)
-
         start_ready()
         while running:
             rates = self._rates(running)
@@ -194,11 +415,7 @@ class SimEngine:
             start_ready()
 
         if len(done) != len(ops):
-            stuck = [op.name for op in ops if op not in done][:8]
-            raise RuntimeError(
-                f"simulation deadlocked with {len(ops) - len(done)} ops pending, "
-                f"e.g. {stuck} — check for dependency cycles or cross-lane ordering"
-            )
+            raise _deadlock_error(ops, done)
         records.sort(key=lambda r: (r.start, r.device, r.stream.value))
         return SimResult(makespan=now, records=records)
 
@@ -212,32 +429,3 @@ class SimEngine:
             op: self.interference.slowdown(op.stream, active_by_device[op.device])
             for op in running
         }
-
-    @staticmethod
-    def _validate(ops: list[Op]) -> None:
-        op_set = set(ops)
-        if len(op_set) != len(ops):
-            raise ValueError("duplicate op submitted")
-        for op in ops:
-            for dep in op.deps:
-                if dep not in op_set:
-                    raise ValueError(
-                        f"op {op.name!r} depends on {dep.name!r} which was not submitted"
-                    )
-        # Cycle check via Kahn count.
-        indeg = {op: len(op.deps) for op in ops}
-        queue = [op for op, d in indeg.items() if d == 0]
-        children: dict[Op, list[Op]] = {}
-        for op in ops:
-            for dep in op.deps:
-                children.setdefault(dep, []).append(op)
-        seen = 0
-        while queue:
-            op = queue.pop()
-            seen += 1
-            for child in children.get(op, ()):
-                indeg[child] -= 1
-                if indeg[child] == 0:
-                    queue.append(child)
-        if seen != len(ops):
-            raise ValueError("dependency cycle detected in submitted ops")

@@ -1,0 +1,40 @@
+"""Scenario sweep subsystem: declarative grids, parallel cached runs,
+and result post-processing.
+
+Quickstart::
+
+    from repro.sweep import ScenarioGrid, SweepRunner, pareto_front, sweep_table
+
+    grid = ScenarioGrid(
+        systems=("fastmoe", "pipemoe", "mpipemoe"),
+        world_sizes=(16, 64),
+        batches=(8192, 16384),
+    )
+    runner = SweepRunner(cache_dir=".sweep_cache", workers=4)
+    results = runner.run(grid)
+    print(sweep_table(results, ["label", "iteration_time", "peak_memory_bytes"]))
+    best = pareto_front(results)  # Fig. 11-style memory/time frontier
+"""
+
+from repro.sweep.grid import BACKEND_NAMES, Scenario, ScenarioGrid, SYSTEM_NAMES
+from repro.sweep.runner import (
+    SweepResult,
+    SweepRunner,
+    evaluate_system,
+    evaluate_timeline,
+)
+from repro.sweep.analysis import group_by, pareto_front, sweep_table
+
+__all__ = [
+    "BACKEND_NAMES",
+    "SYSTEM_NAMES",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepResult",
+    "SweepRunner",
+    "evaluate_system",
+    "evaluate_timeline",
+    "group_by",
+    "pareto_front",
+    "sweep_table",
+]

@@ -1,0 +1,143 @@
+"""Declarative scenario grids for the sweep runner.
+
+A :class:`Scenario` is one fully-specified operating point: which system
+backend evaluates it, on which layer spec, at which world size / batch /
+granularity / memory-reuse strategy, plus the two timeline ablation
+toggles (point-to-point decomposed All-to-All and fully sequential
+execution).  A :class:`ScenarioGrid` is the cartesian product over those
+axes; grids concatenate with ``+`` so mixed studies (e.g. Fig. 11's
+adaptive *and* pinned-n PipeMoE points) stay declarative.
+
+Scenarios are frozen, hashable and JSON-stable: :meth:`Scenario.key`
+digests the field dict, which is what the runner's on-disk cache and the
+worker-process fan-out key on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator, Sequence
+
+SYSTEM_NAMES = ("fastmoe", "fastermoe", "pipemoe", "mpipemoe")
+#: "timeline" bypasses the system models and prices a raw build_timeline
+#: schedule — the ablation benches sweep over it.
+BACKEND_NAMES = SYSTEM_NAMES + ("timeline",)
+
+STRATEGY_NAMES = ("none", "S1", "S2", "S3", "S4")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One operating point of a sweep.
+
+    ``n is None`` means adaptive granularity (Algorithm 1) where the
+    backend supports it; ``strategy is None`` means the adaptive Eq. 10
+    selector (MPipeMoE) or "none" for the strategy-less backends.
+    """
+
+    system: str = "mpipemoe"
+    spec: str = "GPT-XL"
+    world_size: int = 64
+    batch: int = 16384
+    n: int | None = None
+    strategy: str | None = None
+    decomposed_comm: bool = False
+    sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.system not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown system {self.system!r}; available: {BACKEND_NAMES}"
+            )
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.n is not None and self.n < 1:
+            raise ValueError("n must be >= 1 (or None for adaptive)")
+        if self.strategy is not None and self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; available: {STRATEGY_NAMES}"
+            )
+
+    def key(self, salt: str = "") -> str:
+        """Stable digest of this scenario (plus an optional salt such as
+        the evaluator's qualified name) — the cache key."""
+        payload = json.dumps(
+            {"salt": salt, "scenario": asdict(self)}, sort_keys=True
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:20]
+
+    def label(self) -> str:
+        """Compact human-readable tag for tables and logs."""
+        parts = [self.system, self.spec, f"N={self.world_size}", f"B={self.batch}"]
+        if self.n is not None:
+            parts.append(f"n={self.n}")
+        if self.strategy is not None:
+            parts.append(self.strategy)
+        if self.decomposed_comm:
+            parts.append("p2p")
+        if self.sequential:
+            parts.append("seq")
+        return "/".join(parts)
+
+
+class ScenarioGrid:
+    """Cartesian product over scenario axes.
+
+    Axis order is fixed (system, spec, world_size, batch, n, strategy,
+    decomposed, sequential) so iteration order — and therefore sweep
+    result order — is deterministic.  ``grid_a + grid_b`` concatenates
+    scenario lists for non-rectangular studies.
+    """
+
+    def __init__(
+        self,
+        systems: Sequence[str] = ("mpipemoe",),
+        specs: Sequence[str] = ("GPT-XL",),
+        world_sizes: Sequence[int] = (64,),
+        batches: Sequence[int] = (16384,),
+        ns: Sequence[int | None] = (None,),
+        strategies: Sequence[str | None] = (None,),
+        decomposed: Sequence[bool] = (False,),
+        sequential: Sequence[bool] = (False,),
+    ) -> None:
+        self.axes = (
+            tuple(systems),
+            tuple(specs),
+            tuple(world_sizes),
+            tuple(batches),
+            tuple(ns),
+            tuple(strategies),
+            tuple(decomposed),
+            tuple(sequential),
+        )
+        if any(not axis for axis in self.axes):
+            raise ValueError("every grid axis needs at least one value")
+
+    def scenarios(self) -> list[Scenario]:
+        return [
+            Scenario(
+                system=sy, spec=sp, world_size=w, batch=b, n=n,
+                strategy=st, decomposed_comm=dc, sequential=sq,
+            )
+            for sy, sp, w, b, n, st, dc, sq in itertools.product(*self.axes)
+        ]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+    def __len__(self) -> int:
+        total = 1
+        for axis in self.axes:
+            total *= len(axis)
+        return total
+
+    def __add__(self, other: "ScenarioGrid | Iterable[Scenario]") -> list[Scenario]:
+        return self.scenarios() + list(other)
+
+    def __radd__(self, other: Iterable[Scenario]) -> list[Scenario]:
+        return list(other) + self.scenarios()

@@ -1,0 +1,220 @@
+"""Scenario fan-out with process parallelism and on-disk result caching.
+
+:class:`SweepRunner` takes any iterable of :class:`Scenario` (usually a
+:class:`ScenarioGrid`), evaluates each point with a module-level
+evaluator function, and returns :class:`SweepResult` objects in scenario
+order regardless of worker count.  Completed points are cached as JSON
+files keyed by the scenario hash, so re-running a study — or extending
+its grid — only pays for the new points.
+
+Evaluators map ``Scenario -> dict`` (JSON-serializable values).  Two are
+built in:
+
+* :func:`evaluate_system` — full system-model evaluation (iteration
+  time, peak memory, chosen n / strategy) via
+  :mod:`repro.systems`, the backend the paper figures sweep;
+* :func:`evaluate_timeline` — price one raw ``build_timeline`` schedule,
+  for ablation studies that pin every knob.
+
+Custom evaluators must be module-level functions (worker processes
+import them by qualified name, the standard pickle contract).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.config import get_preset
+from repro.pipeline.schedule import MoEStageCosts, build_timeline
+from repro.sweep.grid import Scenario, ScenarioGrid
+from repro.systems import (
+    FastMoEModel,
+    FasterMoEModel,
+    MPipeMoEModel,
+    PipeMoEModel,
+)
+from repro.systems.base import SystemContext
+
+Evaluator = Callable[[Scenario], dict]
+
+
+def _make_system(scenario: Scenario, ctx: SystemContext):
+    # Reject knobs this backend would silently ignore — otherwise a grid
+    # crossing them produces distinctly-labeled (and distinctly-cached)
+    # scenarios with identical values.
+    if scenario.decomposed_comm or scenario.sequential:
+        raise ValueError(
+            f"decomposed_comm/sequential only apply to the 'timeline' backend, "
+            f"not {scenario.system!r}"
+        )
+    if scenario.strategy not in (None, "none") and scenario.system != "mpipemoe":
+        raise ValueError(
+            f"strategy {scenario.strategy!r} only applies to 'mpipemoe', "
+            f"not {scenario.system!r}"
+        )
+    if scenario.system == "fastmoe" and scenario.n not in (None, 1):
+        raise ValueError(f"'fastmoe' does not pipeline; n={scenario.n} is meaningless")
+    if scenario.system == "fastmoe":
+        return FastMoEModel(ctx)
+    if scenario.system == "fastermoe":
+        if scenario.n is not None:
+            return FasterMoEModel(ctx, fixed_n=scenario.n)
+        return FasterMoEModel(ctx)
+    if scenario.system == "pipemoe":
+        return PipeMoEModel(ctx, fixed_n=scenario.n)
+    if scenario.system == "mpipemoe":
+        return MPipeMoEModel(
+            ctx, fixed_n=scenario.n, fixed_strategy=scenario.strategy
+        )
+    raise ValueError(f"scenario system {scenario.system!r} has no system model")
+
+
+def evaluate_system(scenario: Scenario) -> dict:
+    """Evaluate one operating point through its system model."""
+    ctx = SystemContext(world_size=scenario.world_size)
+    model = _make_system(scenario, ctx)
+    report = model.evaluate(get_preset(scenario.spec), scenario.batch)
+    return {
+        "system": report.system,
+        "spec": report.spec_name,
+        "batch": report.batch,
+        "world_size": report.world_size,
+        "iteration_time": report.iteration_time,
+        "peak_memory_bytes": report.peak_memory_bytes,
+        "n": report.num_partitions,
+        "strategy": report.strategy,
+        "comp_utilization": report.comp_utilization,
+    }
+
+
+def evaluate_timeline(scenario: Scenario) -> dict:
+    """Price one explicit ``build_timeline`` schedule (ablation backend)."""
+    if scenario.n is None:
+        raise ValueError("timeline scenarios need an explicit n")
+    ctx = SystemContext(world_size=scenario.world_size)
+    costs = MoEStageCosts.compute(
+        get_preset(scenario.spec), scenario.batch, scenario.n,
+        ctx.device, ctx.comm_model(),
+    )
+    ops = build_timeline(
+        costs,
+        scenario.n,
+        strategy=scenario.strategy or "none",
+        decomposed_comm=scenario.decomposed_comm,
+        sequential=scenario.sequential,
+    )
+    sim = ctx.engine.run(ops)
+    return {
+        "makespan": sim.makespan,
+        "iteration_time": sim.makespan,
+        "n": scenario.n,
+        "strategy": scenario.strategy or "none",
+    }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One evaluated scenario: the point, its values, and provenance."""
+
+    scenario: Scenario
+    values: dict
+    cached: bool = False
+
+    def __getitem__(self, key: str):
+        return self.values[key]
+
+
+class SweepRunner:
+    """Fan scenarios out over processes with per-scenario JSON caching."""
+
+    def __init__(
+        self,
+        evaluate: Evaluator = evaluate_system,
+        cache_dir: str | os.PathLike | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.evaluate = evaluate
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.workers = workers
+        self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
+
+    # -- cache -----------------------------------------------------------------
+    def cache_path(self, scenario: Scenario) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{scenario.key(self._salt)}.json"
+
+    def _cache_load(self, scenario: Scenario) -> dict | None:
+        path = self.cache_path(scenario)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable entry: treat as a miss and rewrite
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("values"), dict
+        ):
+            return None  # foreign/corrupt entry shape: miss and rewrite
+        return payload["values"]
+
+    def _cache_store(self, scenario: Scenario, values: dict) -> None:
+        path = self.cache_path(scenario)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"scenario": scenario.__dict__, "values": values}
+        # Write-then-rename so concurrent sweeps never read a torn file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- running ---------------------------------------------------------------
+    def run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
+        """Evaluate all scenarios; results come back in scenario order."""
+        points = list(scenarios)
+
+        # Resolve cache hits and dedupe repeated points (a concatenated
+        # grid may name the same scenario twice — evaluate it once).
+        values: dict[Scenario, dict] = {}
+        cached: set[Scenario] = set()
+        misses: list[Scenario] = []
+        for sc in points:
+            if sc in values:
+                continue
+            hit = self._cache_load(sc)
+            if hit is not None:
+                values[sc] = hit
+                cached.add(sc)
+            else:
+                values[sc] = {}  # placeholder keeps dedupe order stable
+                misses.append(sc)
+
+        if misses:
+            if self.workers == 1:
+                computed = [self.evaluate(sc) for sc in misses]
+            else:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    computed = list(pool.map(self.evaluate, misses))
+            for sc, vals in zip(misses, computed):
+                values[sc] = vals
+                self._cache_store(sc, vals)
+
+        return [
+            SweepResult(scenario=sc, values=values[sc], cached=sc in cached)
+            for sc in points
+        ]

@@ -1,0 +1,54 @@
+"""Fixed DAG builders shared by the golden-trace test and the capture tool.
+
+Two scenarios pin the engine's observable behaviour:
+
+* :func:`exact_dag` — three devices, all stream kinds, cross-device
+  dependencies, FIFO-blocked heads and a zero-work barrier, run without
+  interference.  All work values are dyadic so every realized timestamp
+  is exactly representable and the trace can be asserted with ``==``.
+* :func:`interference_timeline` — two devices running real
+  ``build_timeline`` schedules (S1 and S4) with hand-picked stage costs
+  under the paper's interference table, exercising the mu/eta rate
+  arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.interference import StreamKind
+from repro.pipeline.schedule import MoEStageCosts, build_timeline
+from repro.sim.engine import Op
+
+COMP, COMM, MEM = StreamKind.COMP, StreamKind.COMM, StreamKind.MEM
+
+
+def exact_dag() -> list[Op]:
+    a = Op("a", 0, COMP, 1.0)
+    b = Op("b", 0, COMP, 0.5)
+    c = Op("c", 0, COMM, 2.0)
+    d = Op("d", 1, COMP, 0.25, deps=(a,))
+    e = Op("e", 1, COMM, 1.0, deps=(d,))
+    z = Op("z", 1, COMP, 0.0, deps=(b, e))
+    f = Op("f", 2, MEM, 0.75, deps=(z,))
+    g = Op("g", 2, COMP, 1.5)
+    h = Op("h", 2, COMP, 0.5, deps=(c,))
+    i = Op("i", 0, COMP, 0.25, deps=(f,))
+    return [a, b, c, d, e, z, f, g, h, i]
+
+
+#: Hand-picked stage durations (seconds) — no cost model involved, so the
+#: golden numbers cannot drift when calibration constants change.
+GOLDEN_COSTS = MoEStageCosts(
+    s_time=1.0,
+    c_fw_time=2.0,
+    c_bw_time=3.0,
+    recompute_time=0.5,
+    offload_tdi_time=0.25,
+    offload_tm_time=1.0,
+    p2p_s_time=1.5,
+)
+
+
+def interference_timeline() -> list[Op]:
+    ops = build_timeline(GOLDEN_COSTS, n=2, strategy="S1", device=0)
+    ops += build_timeline(GOLDEN_COSTS, n=2, strategy="S4", device=1)
+    return ops

@@ -138,6 +138,14 @@ class TestValidation:
         with pytest.raises(ValueError, match="duplicate"):
             run([a, a])
 
+    def test_copied_op_sharing_uid_detected(self):
+        import dataclasses
+
+        a = Op("a", 0, COMP, 1.0)
+        b = dataclasses.replace(a, name="b", work=2.0)  # copies uid
+        with pytest.raises(ValueError, match="uid"):
+            run([a, b])
+
     def test_negative_work_rejected(self):
         with pytest.raises(ValueError):
             Op("a", 0, COMP, -1.0)

@@ -1,0 +1,256 @@
+"""Sweep subsystem: grids, runner caching/parallelism, analysis."""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import (
+    Scenario,
+    ScenarioGrid,
+    SweepResult,
+    SweepRunner,
+    evaluate_timeline,
+    group_by,
+    pareto_front,
+    sweep_table,
+)
+
+# Module-level so worker processes can unpickle it by qualified name.
+def fake_evaluate(scenario: Scenario) -> dict:
+    values = {
+        "iteration_time": scenario.batch * 1e-6 * (scenario.n or 1),
+        "peak_memory_bytes": scenario.batch * 100,
+        "world_size": scenario.world_size,
+    }
+    counter = os.environ.get("SWEEP_TEST_COUNTER")
+    if counter:
+        with open(counter, "a") as fh:
+            fh.write(scenario.key() + "\n")
+    return values
+
+
+def result_at(time, mem, **scenario_kwargs) -> SweepResult:
+    return SweepResult(
+        scenario=Scenario(**scenario_kwargs),
+        values={"iteration_time": time, "peak_memory_bytes": mem},
+    )
+
+
+SMALL_GRID = ScenarioGrid(
+    systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+    batches=(1024, 2048), ns=(1, 2),
+)
+
+
+class TestScenario:
+    def test_key_is_stable_and_distinct(self):
+        a = Scenario(system="pipemoe", batch=4096)
+        b = Scenario(system="pipemoe", batch=4096)
+        c = Scenario(system="pipemoe", batch=8192)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.key(salt="other-evaluator") != a.key()
+
+    def test_label_mentions_the_set_knobs(self):
+        label = Scenario(system="mpipemoe", n=4, strategy="S2").label()
+        assert "mpipemoe" in label and "n=4" in label and "S2" in label
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"system": "nope"},
+            {"world_size": 0},
+            {"batch": 0},
+            {"n": 0},
+            {"strategy": "S9"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+
+class TestScenarioGrid:
+    def test_cartesian_product_size_and_order(self):
+        grid = ScenarioGrid(
+            systems=("fastmoe", "pipemoe"), batches=(1024, 2048), ns=(1, 2)
+        )
+        scenarios = grid.scenarios()
+        assert len(grid) == 8
+        assert len(scenarios) == 8
+        assert scenarios == grid.scenarios()  # deterministic order
+        assert scenarios[0].system == "fastmoe"
+        assert [s.batch for s in scenarios[:4]] == [1024, 1024, 2048, 2048]
+
+    def test_grid_concatenation(self):
+        combined = ScenarioGrid(systems=("fastmoe",)) + ScenarioGrid(
+            systems=("pipemoe",), ns=(4, None)
+        )
+        assert [s.system for s in combined] == ["fastmoe", "pipemoe", "pipemoe"]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis"):
+            ScenarioGrid(batches=())
+
+
+class TestRunnerCaching:
+    def test_miss_then_hit(self, tmp_path):
+        runner = SweepRunner(fake_evaluate, cache_dir=tmp_path / "cache")
+        first = runner.run(SMALL_GRID)
+        assert all(not r.cached for r in first)
+        assert len(list((tmp_path / "cache").glob("*.json"))) == len(SMALL_GRID)
+
+        second = runner.run(SMALL_GRID)
+        assert all(r.cached for r in second)
+        assert [r.values for r in second] == [r.values for r in first]
+
+    def test_cache_hit_skips_evaluation(self, tmp_path, monkeypatch):
+        counter = tmp_path / "calls.log"
+        monkeypatch.setenv("SWEEP_TEST_COUNTER", str(counter))
+        runner = SweepRunner(fake_evaluate, cache_dir=tmp_path / "cache")
+        runner.run(SMALL_GRID)
+        assert len(counter.read_text().splitlines()) == len(SMALL_GRID)
+        runner.run(SMALL_GRID)  # all hits: no new evaluations
+        assert len(counter.read_text().splitlines()) == len(SMALL_GRID)
+
+    def test_extending_the_grid_pays_only_new_points(self, tmp_path, monkeypatch):
+        counter = tmp_path / "calls.log"
+        monkeypatch.setenv("SWEEP_TEST_COUNTER", str(counter))
+        runner = SweepRunner(fake_evaluate, cache_dir=tmp_path / "cache")
+        runner.run(SMALL_GRID)
+        bigger = SMALL_GRID + ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(4096,), ns=(1, 2),
+        )
+        results = runner.run(bigger)
+        assert sum(not r.cached for r in results) == 2
+        assert len(counter.read_text().splitlines()) == len(SMALL_GRID) + 2
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        runner = SweepRunner(fake_evaluate, cache_dir=tmp_path / "cache")
+        scenario = Scenario(system="timeline", batch=512, n=2)
+        runner.run([scenario])
+        path = runner.cache_path(scenario)
+        path.write_text("{not json")
+        (result,) = runner.run([scenario])
+        assert not result.cached
+        assert json.loads(path.read_text())["values"] == result.values
+
+    def test_duplicate_scenarios_evaluated_once(self, tmp_path, monkeypatch):
+        counter = tmp_path / "calls.log"
+        monkeypatch.setenv("SWEEP_TEST_COUNTER", str(counter))
+        scenario = Scenario(system="timeline", batch=512, n=2)
+        results = SweepRunner(fake_evaluate).run([scenario, scenario])
+        assert len(results) == 2
+        assert results[0].values == results[1].values
+        assert len(counter.read_text().splitlines()) == 1
+
+    def test_no_cache_dir_means_no_files(self, tmp_path):
+        runner = SweepRunner(fake_evaluate)
+        assert runner.cache_path(Scenario()) is None
+        results = runner.run(SMALL_GRID)
+        assert all(not r.cached for r in results)
+
+
+class TestRunnerParallelism:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(fake_evaluate, workers=0)
+
+    def test_parallel_matches_serial_on_fake_evaluator(self):
+        serial = SweepRunner(fake_evaluate, workers=1).run(SMALL_GRID)
+        parallel = SweepRunner(fake_evaluate, workers=4).run(SMALL_GRID)
+        assert [r.scenario for r in parallel] == [r.scenario for r in serial]
+        assert [r.values for r in parallel] == [r.values for r in serial]
+
+    def test_parallel_matches_serial_on_real_timeline(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(2048, 4096), ns=(2, 4),
+        )
+        serial = SweepRunner(evaluate_timeline, workers=1).run(grid)
+        parallel = SweepRunner(evaluate_timeline, workers=4).run(grid)
+        assert [r.values for r in parallel] == [r.values for r in serial]
+        assert all(r["makespan"] > 0 for r in serial)
+
+
+class TestEvaluators:
+    def test_timeline_requires_explicit_n(self):
+        with pytest.raises(ValueError, match="explicit n"):
+            evaluate_timeline(Scenario(system="timeline", n=None))
+
+    def test_system_evaluator_reports_expected_fields(self):
+        from repro.sweep import evaluate_system
+
+        values = evaluate_system(
+            Scenario(system="pipemoe", spec="GPT-S", world_size=8, batch=2048, n=2)
+        )
+        assert values["system"] == "PipeMoE(n=2)"
+        assert values["n"] == 2
+        assert values["iteration_time"] > 0
+        assert values["peak_memory_bytes"] > 0
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"system": "pipemoe", "strategy": "S1"}, "strategy"),
+            ({"system": "fastermoe", "strategy": "S4"}, "strategy"),
+            ({"system": "fastmoe", "n": 4}, "pipeline"),
+            ({"system": "mpipemoe", "decomposed_comm": True}, "timeline"),
+            ({"system": "pipemoe", "sequential": True}, "timeline"),
+        ],
+    )
+    def test_system_evaluator_rejects_inapplicable_knobs(self, kwargs, match):
+        """A knob the backend would silently ignore must fail loudly, or a
+        grid crossing it would cache identical values under distinct keys."""
+        from repro.sweep import evaluate_system
+
+        with pytest.raises(ValueError, match=match):
+            evaluate_system(Scenario(spec="GPT-S", world_size=8, batch=2048, **kwargs))
+
+
+class TestAnalysis:
+    def test_pareto_front_on_hand_computed_points(self):
+        # (time, memory): A and C are the extremes, B bends the frontier,
+        # D is dominated by B, E is dominated by C.
+        a = result_at(1.0, 10.0, batch=1)
+        b = result_at(2.0, 2.0, batch=2)
+        c = result_at(3.0, 1.0, batch=3)
+        d = result_at(2.5, 3.0, batch=4)
+        e = result_at(3.0, 10.0, batch=5)
+        front = pareto_front([e, d, c, b, a])
+        assert front == [a, b, c]
+
+    def test_pareto_keeps_duplicate_coordinates(self):
+        a = result_at(1.0, 1.0, batch=1)
+        b = result_at(1.0, 1.0, batch=2)
+        assert set(r.scenario.batch for r in pareto_front([a, b])) == {1, 2}
+
+    def test_pareto_single_point(self):
+        a = result_at(5.0, 5.0, batch=1)
+        assert pareto_front([a]) == [a]
+
+    def test_sweep_table_resolves_values_scenario_and_label(self):
+        results = SweepRunner(fake_evaluate).run(
+            ScenarioGrid(systems=("timeline",), batches=(1024,), ns=(2,))
+        )
+        table = sweep_table(
+            results,
+            ["label", "batch", ("time", "iteration_time")],
+            title="t",
+        )
+        text = table.render()
+        assert "timeline" in text and "1024" in text
+        assert "bound method" not in text
+
+    def test_sweep_table_unknown_column(self):
+        results = SweepRunner(fake_evaluate).run([Scenario(system="timeline", n=2)])
+        with pytest.raises(KeyError, match="neither"):
+            sweep_table(results, ["no_such_column"]).render()
+
+    def test_group_by_scenario_field(self):
+        results = SweepRunner(fake_evaluate).run(SMALL_GRID)
+        groups = group_by(results, "batch")
+        assert set(groups) == {1024, 2048}
+        assert all(len(v) == 2 for v in groups.values())
