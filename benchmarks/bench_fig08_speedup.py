@@ -5,10 +5,13 @@ Paper: bars for FastMoE (=1), FasterMoE, PipeMoE(n=1) and PipeMoE across
 shape: PipeMoE wins everywhere except the non-compute-bound GPT-S(4k)
 point, where PipeMoE(n=1) is competitive because pipelining cannot help
 a workload that is not compute-bound.
+
+Declared as a sweep study: the 4 systems x 9 configs are one
+concatenated :class:`~repro.sweep.ScenarioGrid`, evaluated by the sweep
+runner (which shares the memoized evaluator across all 36 points).
 """
 
-from repro.config import get_preset
-from repro.systems import FastMoEModel, FasterMoEModel, PipeMoEModel
+from repro.sweep import ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -16,32 +19,38 @@ from conftest import emit, run_once
 MODELS = ("GPT-S", "BERT-L", "GPT-XL")
 BATCHES = (4096, 8192, 16384)
 
+GRID = (
+    ScenarioGrid(systems=("fastmoe", "fastermoe"), specs=MODELS, batches=BATCHES)
+    + ScenarioGrid(systems=("pipemoe",), specs=MODELS, batches=BATCHES, ns=(1, None))
+)
 
-def compute_speedups(ctx):
-    fast = FastMoEModel(ctx)
-    faster = FasterMoEModel(ctx)
-    pipe1 = PipeMoEModel(ctx, fixed_n=1)
-    pipe = PipeMoEModel(ctx)
+
+def compute_speedups():
+    results = SweepRunner().run(GRID)
+    by = {
+        (r.scenario.system, r.scenario.n, r.scenario.spec, r.scenario.batch): r
+        for r in results
+    }
     rows = []
     for model in MODELS:
-        spec = get_preset(model)
         for batch in BATCHES:
-            base = fast.evaluate(spec, batch)
+            base = by[("fastmoe", None, model, batch)]["iteration_time"]
+            pipe = by[("pipemoe", None, model, batch)]
             rows.append(
                 (
                     f"{model}({batch // 1024}k)",
                     1.0,
-                    base.iteration_time / faster.evaluate(spec, batch).iteration_time,
-                    base.iteration_time / pipe1.evaluate(spec, batch).iteration_time,
-                    base.iteration_time / pipe.evaluate(spec, batch).iteration_time,
-                    pipe.evaluate(spec, batch).num_partitions,
+                    base / by[("fastermoe", None, model, batch)]["iteration_time"],
+                    base / by[("pipemoe", 1, model, batch)]["iteration_time"],
+                    base / pipe["iteration_time"],
+                    pipe["n"],
                 )
             )
     return rows
 
 
-def test_fig08_speedup(benchmark, paper_world):
-    rows = run_once(benchmark, lambda: compute_speedups(paper_world))
+def test_fig08_speedup(benchmark):
+    rows = run_once(benchmark, compute_speedups)
     table = Table(
         ["config", "FastMoE", "FasterMoE", "PipeMoE(n=1)", "PipeMoE", "chosen n"],
         title="Fig. 8 — speedup over FastMoE (64 GPUs)",

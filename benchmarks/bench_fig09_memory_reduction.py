@@ -5,15 +5,12 @@ FasterMoE / PipeMoE / MPipeMoE, plus the speedup polyline of MPipeMoE
 against FastMoE and FasterMoE, across 9 (model, batch) configs.
 Headline numbers: average 23% / up to 40% reduction vs FastMoE; average
 27% / up to 47% vs FasterMoE; while keeping >1x speedup.
+
+One rectangular :class:`~repro.sweep.ScenarioGrid` covers all four
+systems; the normalization/speedup arithmetic reads the sweep results.
 """
 
-from repro.config import get_preset
-from repro.systems import (
-    FastMoEModel,
-    FasterMoEModel,
-    MPipeMoEModel,
-    PipeMoEModel,
-)
+from repro.sweep import ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -21,37 +18,42 @@ from conftest import emit, run_once
 MODELS = ("GPT-S", "BERT-L", "GPT-XL")
 BATCHES = (4096, 8192, 16384)
 
+GRID = ScenarioGrid(
+    systems=("fastmoe", "fastermoe", "pipemoe", "mpipemoe"),
+    specs=MODELS,
+    batches=BATCHES,
+)
 
-def compute(ctx):
-    fast = FastMoEModel(ctx)
-    faster = FasterMoEModel(ctx)
-    pipe = PipeMoEModel(ctx)
-    mpipe = MPipeMoEModel(ctx)
+
+def compute():
+    results = SweepRunner().run(GRID)
+    by = {
+        (r.scenario.system, r.scenario.spec, r.scenario.batch): r for r in results
+    }
     rows = []
     for model in MODELS:
-        spec = get_preset(model)
         for batch in BATCHES:
-            f = fast.evaluate(spec, batch)
-            fr = faster.evaluate(spec, batch)
-            p = pipe.evaluate(spec, batch)
-            m = mpipe.evaluate(spec, batch)
+            f = by[("fastmoe", model, batch)]
+            fr = by[("fastermoe", model, batch)]
+            p = by[("pipemoe", model, batch)]
+            m = by[("mpipemoe", model, batch)]
             rows.append(
                 (
                     f"{model}({batch // 1024}k)",
                     1.0,
-                    fr.peak_memory_bytes / f.peak_memory_bytes,
-                    p.peak_memory_bytes / f.peak_memory_bytes,
-                    m.peak_memory_bytes / f.peak_memory_bytes,
-                    f.iteration_time / m.iteration_time,
-                    fr.iteration_time / m.iteration_time,
-                    m.strategy,
+                    fr["peak_memory_bytes"] / f["peak_memory_bytes"],
+                    p["peak_memory_bytes"] / f["peak_memory_bytes"],
+                    m["peak_memory_bytes"] / f["peak_memory_bytes"],
+                    f["iteration_time"] / m["iteration_time"],
+                    fr["iteration_time"] / m["iteration_time"],
+                    m["strategy"],
                 )
             )
     return rows
 
 
-def test_fig09_memory_reduction(benchmark, paper_world):
-    rows = run_once(benchmark, lambda: compute(paper_world))
+def test_fig09_memory_reduction(benchmark):
+    rows = run_once(benchmark, compute)
     table = Table(
         [
             "config", "FastMoE", "FasterMoE", "PipeMoE", "MPipeMoE",

@@ -12,6 +12,11 @@ gating/routing tensors metered alongside.  The *theoretical* side is
 Eq. 6 on the same (scaled) layer shape; the functional run scales
 d_model down by a constant, which leaves the ratio intact because every
 term of Eq. 6 is linear in the tensor sizes.
+
+Each (model, n, B) point is a scenario of one
+:class:`~repro.sweep.ScenarioGrid`, measured by a custom module-level
+sweep evaluator (the executor runs are real work — exactly what the
+runner's process fan-out and on-disk cache exist for).
 """
 
 import numpy as np
@@ -22,6 +27,7 @@ from repro.memory.footprint import FootprintModel
 from repro.memory.host_pool import HostBufferPool
 from repro.pipeline.executor import PipelinedMoEMiddle
 from repro.sim.memory_allocator import CachingAllocator
+from repro.sweep import Scenario, ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -29,6 +35,12 @@ from conftest import emit, run_once
 SCALE = 64  # functional run shrinks d_model/d_hidden by this factor
 WORLD, EPER = 4, 2
 ITEM = 8  # float64
+
+MODELS = ("GPT-S", "BERT-L", "GPT-XL")
+NS = (2, 4, 8)
+BATCHES = (4096, 16384, 32768)
+
+GRID = ScenarioGrid(systems=("timeline",), specs=MODELS, ns=NS, batches=BATCHES)
 
 
 def scaled_probe(spec: MoELayerSpec, batch: int, n: int):
@@ -71,17 +83,29 @@ def measure_peak(probe, capacity, rows, n, strategy, seed=0):
     return meter.peak_reserved_bytes
 
 
+def measure_saving_point(scenario: Scenario) -> dict:
+    """Sweep evaluator: Eq. 6 bound vs metered executor saving."""
+    spec = get_preset(scenario.spec)
+    probe, capacity, rows = scaled_probe(spec, scenario.batch, scenario.n)
+    theoretical = FootprintModel(probe, WORLD).saving_ratio(rows, scenario.n)
+    peak_none = measure_peak(probe, capacity, rows, scenario.n, "none")
+    peak_reuse = measure_peak(probe, capacity, rows, scenario.n, "S4")
+    achieved = (peak_none - peak_reuse) / peak_none
+    return {"theoretical": theoretical, "achieved": achieved}
+
+
 def compute():
+    results = SweepRunner(evaluate=measure_saving_point).run(GRID)
+    by = {
+        (r.scenario.spec, r.scenario.n, r.scenario.batch): r for r in results
+    }
     rows_out = []
-    for model in ("GPT-S", "BERT-L", "GPT-XL"):
-        spec = get_preset(model)
-        for n in (2, 4, 8):
-            for batch in (4096, 16384, 32768):
-                probe, capacity, rows = scaled_probe(spec, batch, n)
-                theoretical = FootprintModel(probe, WORLD).saving_ratio(rows, n)
-                peak_none = measure_peak(probe, capacity, rows, n, "none")
-                peak_reuse = measure_peak(probe, capacity, rows, n, "S4")
-                achieved = (peak_none - peak_reuse) / peak_none
+    for model in MODELS:
+        for n in NS:
+            for batch in BATCHES:
+                point = by[(model, n, batch)]
+                theoretical = point["theoretical"]
+                achieved = point["achieved"]
                 rows_out.append(
                     (model, n, batch, theoretical, achieved,
                      achieved / theoretical if theoretical else float("nan"))

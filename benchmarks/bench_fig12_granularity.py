@@ -4,10 +4,12 @@ Paper: GPT-XL, speedup of PipeMoE with fixed n in {1,2,4,8} (normalized
 to n=1) as B sweeps 4k..31k, plus the adaptive configuration (dashed
 line) tracking the upper envelope.  Published bands: n=2 best below 8k,
 n=4 best for 8k-22k, n=8 best beyond 22k.
+
+The (B x n) sweep is one :class:`~repro.sweep.ScenarioGrid` over the
+pipemoe backend with the adaptive point as ``n=None``.
 """
 
-from repro.config import MOE_GPT3_XL
-from repro.systems import PipeMoEModel
+from repro.sweep import ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -15,24 +17,25 @@ from conftest import emit, run_once
 BATCHES = [1024 * k for k in (4, 6, 8, 12, 16, 20, 22, 24, 28, 31)]
 FIXED_NS = (1, 2, 4, 8)
 
+GRID = ScenarioGrid(
+    systems=("pipemoe",), batches=BATCHES, ns=FIXED_NS + (None,)
+)
 
-def compute(ctx):
-    fixed = {n: PipeMoEModel(ctx, fixed_n=n) for n in FIXED_NS}
-    adaptive = PipeMoEModel(ctx)
+
+def compute():
+    results = SweepRunner().run(GRID)
+    by = {(r.scenario.batch, r.scenario.n): r for r in results}
     rows = []
     for batch in BATCHES:
-        base = fixed[1].evaluate(MOE_GPT3_XL, batch).iteration_time
-        speedups = {
-            n: base / fixed[n].evaluate(MOE_GPT3_XL, batch).iteration_time
-            for n in FIXED_NS
-        }
-        rep = adaptive.evaluate(MOE_GPT3_XL, batch)
-        rows.append((batch, speedups, base / rep.iteration_time, rep.num_partitions))
+        base = by[(batch, 1)]["iteration_time"]
+        speedups = {n: base / by[(batch, n)]["iteration_time"] for n in FIXED_NS}
+        rep = by[(batch, None)]
+        rows.append((batch, speedups, base / rep["iteration_time"], rep["n"]))
     return rows
 
 
-def test_fig12_granularity(benchmark, paper_world):
-    rows = run_once(benchmark, lambda: compute(paper_world))
+def test_fig12_granularity(benchmark):
+    rows = run_once(benchmark, compute)
     table = Table(
         ["B", "n=1", "n=2", "n=4", "n=8", "adaptive", "chosen n"],
         title="Fig. 12 — speedup vs PipeMoE(n=1) across granularities, GPT-XL",

@@ -9,11 +9,12 @@ the no-reuse pipeline, for N in {8, 16, 32, 64} GPUs and B in
 * S4 beats S2 at N in {32, 64} where communication is the bottleneck;
 * no single strategy wins everywhere;
 * the adaptive selection tracks the best strategy per configuration.
+
+The (N x B x strategy) study concatenates two grids — the no-reuse
+PipeMoE baseline and the mpipemoe strategy axis (``None`` = adaptive).
 """
 
-from repro.config import MOE_GPT3_XL
-from repro.systems import MPipeMoEModel, PipeMoEModel
-from repro.systems.base import SystemContext
+from repro.sweep import ScenarioGrid, SweepRunner
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -23,27 +24,37 @@ BATCHES = (4096, 8192, 16384)
 STRATS = ("S1", "S2", "S3", "S4")
 FIXED_N = 4
 
+GRID = (
+    ScenarioGrid(
+        systems=("pipemoe",), world_sizes=WORLDS, batches=BATCHES, ns=(FIXED_N,)
+    )
+    + ScenarioGrid(
+        systems=("mpipemoe",), world_sizes=WORLDS, batches=BATCHES,
+        ns=(FIXED_N,), strategies=STRATS + (None,),
+    )
+)
+
 
 def compute():
+    results = SweepRunner().run(GRID)
+    by = {
+        (r.scenario.system, r.scenario.world_size, r.scenario.batch,
+         r.scenario.strategy): r
+        for r in results
+    }
     rows = []
     for world in WORLDS:
-        ctx = SystemContext(world_size=world)
-        base = PipeMoEModel(ctx, fixed_n=FIXED_N)
-        fixed = {
-            s: MPipeMoEModel(ctx, fixed_n=FIXED_N, fixed_strategy=s)
-            for s in STRATS
-        }
-        adaptive = MPipeMoEModel(ctx, fixed_n=FIXED_N)
         for batch in BATCHES:
-            t0 = base.evaluate(MOE_GPT3_XL, batch).iteration_time
+            t0 = by[("pipemoe", world, batch, None)]["iteration_time"]
             overheads = {
-                s: 100.0 * (fixed[s].evaluate(MOE_GPT3_XL, batch).iteration_time / t0 - 1)
+                s: 100.0
+                * (by[("mpipemoe", world, batch, s)]["iteration_time"] / t0 - 1)
                 for s in STRATS
             }
-            rep = adaptive.evaluate(MOE_GPT3_XL, batch)
+            rep = by[("mpipemoe", world, batch, None)]
             rows.append(
                 (world, batch, overheads,
-                 100.0 * (rep.iteration_time / t0 - 1), rep.strategy)
+                 100.0 * (rep["iteration_time"] / t0 - 1), rep["strategy"])
             )
     return rows
 

@@ -10,12 +10,15 @@ characteristics" (Sec. V-G).
 """
 
 from repro.perfmodel.cost import HardwareRates, PerfModel, StageCost
+from repro.perfmodel.evalcache import EvalStats, Evaluator
 from repro.perfmodel.selector import StrategySelector, SelectionResult
 
 __all__ = [
     "HardwareRates",
     "PerfModel",
     "StageCost",
+    "EvalStats",
+    "Evaluator",
     "StrategySelector",
     "SelectionResult",
 ]

@@ -1,0 +1,251 @@
+"""Shared memoized simulation evaluator for the system models.
+
+Every figure/table reproduction bottoms out in the same few quantities —
+:class:`~repro.pipeline.schedule.MoEStageCosts` for an operating point,
+the makespan of one ``(n, strategy)`` timeline, the footprint of a
+``(batch, n)`` configuration — and before this layer each searcher
+recomputed them independently: ``PipeMoEModel.choose_n`` simulated every
+granularity candidate, ``MPipeMoEModel._simulated_strategy`` ran four
+more full sims per evaluate, and both rebuilt identical Op DAGs.
+
+:class:`Evaluator` memoizes all of it behind one object that a
+:class:`~repro.systems.base.SystemContext` owns, so the n-search, the
+strategy-search, and the final report all share results.  Makespans are
+priced through the compiled-timeline fast path (no Op or OpRecord
+allocation); full recorded sims are cached separately for reports that
+read utilization.  ``enabled=False`` degrades every call to the original
+cold path (fresh costs, fresh Op DAG, recorded run) — the baseline the
+selector-loop benchmark measures the fast path against, and the oracle
+the cache-correctness tests compare it to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import MoELayerSpec
+from repro.memory.footprint import FootprintModel
+from repro.perfmodel.cost import HardwareRates, PerfModel
+from repro.perfmodel.selector import StrategySelector
+from repro.pipeline.schedule import MoEStageCosts, build_timeline, compile_timeline
+from repro.sim.engine import SimResult
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.systems.base
+    from repro.systems.base import SystemContext
+
+
+@dataclass
+class EvalStats:
+    """Hit/miss counters, one pair per memo table."""
+
+    cost_hits: int = 0
+    cost_misses: int = 0
+    makespan_hits: int = 0
+    makespan_misses: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
+    footprint_hits: int = 0
+    footprint_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class Evaluator:
+    """Memoized evaluation core shared by systems, selectors, and sweeps.
+
+    Keys include everything the cached value depends on —
+    ``(spec, batch, n, strategy, decomposed, sequential, gemm_derate)``
+    — while cluster, device, and interference are fixed per evaluator
+    because they are fixed per :class:`SystemContext`.
+    """
+
+    context: "SystemContext"
+    enabled: bool = True
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    def __post_init__(self) -> None:
+        self._comm = None
+        self._costs: dict[tuple, MoEStageCosts] = {}
+        self._makespans: dict[tuple, float] = {}
+        self._sims: dict[tuple, SimResult] = {}
+        self._footprints: dict[MoELayerSpec, FootprintModel] = {}
+        self._footprint_bytes: dict[tuple, int] = {}
+        self._selectors: dict[MoELayerSpec, StrategySelector] = {}
+
+    # -- shared building blocks ------------------------------------------------
+    def comm_model(self):
+        """The context's NCCL cost model, constructed once."""
+        if not self.enabled:
+            return self.context.comm_model()
+        if self._comm is None:
+            self._comm = self.context.comm_model()
+        return self._comm
+
+    def footprint(self, spec: MoELayerSpec) -> FootprintModel:
+        if not self.enabled:
+            return self.context.footprint(spec)
+        fp = self._footprints.get(spec)
+        if fp is None:
+            fp = self.context.footprint(spec)
+            self._footprints[spec] = fp
+        return fp
+
+    def stage_costs(
+        self, spec: MoELayerSpec, batch: int, n: int, gemm_derate: float = 1.0
+    ) -> MoEStageCosts:
+        """Memoized :meth:`MoEStageCosts.compute` for one operating point."""
+        if not self.enabled:
+            self.stats.cost_misses += 1
+            return MoEStageCosts.compute(
+                spec, batch, n, self.context.device, self.comm_model(),
+                gemm_derate=gemm_derate,
+            )
+        key = (spec, batch, n, gemm_derate)
+        costs = self._costs.get(key)
+        if costs is None:
+            self.stats.cost_misses += 1
+            costs = MoEStageCosts.compute(
+                spec, batch, n, self.context.device, self.comm_model(),
+                gemm_derate=gemm_derate,
+            )
+            self._costs[key] = costs
+        else:
+            self.stats.cost_hits += 1
+        return costs
+
+    # -- simulation ------------------------------------------------------------
+    def makespan(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        strategy: str = "none",
+        *,
+        decomposed_comm: bool = False,
+        sequential: bool = False,
+        gemm_derate: float = 1.0,
+    ) -> float:
+        """Iteration makespan of one timeline, via the compiled fast path.
+
+        This is the selector-inner-loop entry point: no Op DAG and no
+        trace records are materialized.  Disabled evaluators run the
+        original cold path (fresh Op DAG, recorded run) instead.
+        """
+        if not self.enabled:
+            return self._cold_sim(
+                spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
+            ).makespan
+        key = (spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate)
+        cached = self._makespans.get(key)
+        if cached is not None:
+            self.stats.makespan_hits += 1
+            return cached
+        self.stats.makespan_misses += 1
+        costs = self.stage_costs(spec, batch, n, gemm_derate)
+        compiled = compile_timeline(
+            n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
+        )
+        value = compiled.makespan(costs, self.context.engine)
+        self._makespans[key] = value
+        return value
+
+    def simulate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        strategy: str = "none",
+        *,
+        decomposed_comm: bool = False,
+        sequential: bool = False,
+        gemm_derate: float = 1.0,
+    ) -> SimResult:
+        """Full recorded simulation, for reports that read the trace."""
+        if not self.enabled:
+            return self._cold_sim(
+                spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
+            )
+        key = (spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate)
+        sim = self._sims.get(key)
+        if sim is not None:
+            self.stats.sim_hits += 1
+            return sim
+        self.stats.sim_misses += 1
+        costs = self.stage_costs(spec, batch, n, gemm_derate)
+        compiled = compile_timeline(
+            n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
+        )
+        sim = self.context.engine.run_compiled(
+            compiled.dag, compiled.works(costs), record=True
+        )
+        self._sims[key] = sim
+        return sim
+
+    def _cold_sim(self, spec, batch, n, strategy, decomposed, sequential, derate):
+        """The seed evaluation path, byte for byte: nothing reused."""
+        costs = MoEStageCosts.compute(
+            spec, batch, n, self.context.device, self.context.comm_model(),
+            gemm_derate=derate,
+        )
+        ops = build_timeline(
+            costs, n, strategy, decomposed_comm=decomposed, sequential=sequential
+        )
+        return self.context.engine.run(ops)
+
+    # -- memory ----------------------------------------------------------------
+    def footprint_bytes(
+        self, spec: MoELayerSpec, batch: int, pipelined: bool, reuse_n: int = 0
+    ) -> int:
+        if not self.enabled:
+            self.stats.footprint_misses += 1
+            return self.footprint(spec).total_bytes(
+                batch, pipelined=pipelined, reuse_n=reuse_n
+            )
+        key = (spec, batch, pipelined, reuse_n)
+        cached = self._footprint_bytes.get(key)
+        if cached is None:
+            self.stats.footprint_misses += 1
+            cached = self.footprint(spec).total_bytes(
+                batch, pipelined=pipelined, reuse_n=reuse_n
+            )
+            self._footprint_bytes[key] = cached
+        else:
+            self.stats.footprint_hits += 1
+        return cached
+
+    def fits(self, spec: MoELayerSpec, batch: int, n: int) -> bool:
+        """Whether the pipelined+reuse footprint fits device memory.
+
+        The no-fit answer is memoized like any other: a configuration
+        that raised :class:`MemoryError` cold raises it warm too.
+        """
+        capacity = self.context.device.memory_bytes
+        return self.footprint_bytes(spec, batch, True, reuse_n=n) <= capacity
+
+    # -- closed-form selection -------------------------------------------------
+    def selector(self, spec: MoELayerSpec) -> StrategySelector:
+        """Eq. 10 strategy selector, one per layer spec."""
+        selector = self._selectors.get(spec) if self.enabled else None
+        if selector is None:
+            rates = HardwareRates.from_cluster(self.context.device, self.comm_model())
+            selector = StrategySelector(
+                PerfModel(spec, rates),
+                footprint=self.footprint(spec),
+                device_capacity=self.context.device.memory_bytes,
+            )
+            if self.enabled:
+                self._selectors[spec] = selector
+        return selector
+
+    def clear(self) -> None:
+        """Drop every memo (stats are kept)."""
+        self._comm = None
+        self._costs.clear()
+        self._makespans.clear()
+        self._sims.clear()
+        self._footprints.clear()
+        self._footprint_bytes.clear()
+        self._selectors.clear()

@@ -13,7 +13,15 @@
 
 from repro.pipeline.partition import split_capacity, partition_slices, split_by_ranks
 from repro.pipeline.executor import PipelinedMoEMiddle, MiddleContext, reference_middle
-from repro.pipeline.schedule import MoEStageCosts, build_timeline, timeline_makespan
+from repro.pipeline.schedule import (
+    CompiledTimeline,
+    MoEStageCosts,
+    TimelineTemplate,
+    build_timeline,
+    compile_timeline,
+    timeline_makespan,
+    timeline_template,
+)
 from repro.pipeline.granularity import GranularitySearcher, RangeSet
 
 __all__ = [
@@ -23,9 +31,13 @@ __all__ = [
     "PipelinedMoEMiddle",
     "MiddleContext",
     "reference_middle",
+    "CompiledTimeline",
     "MoEStageCosts",
+    "TimelineTemplate",
     "build_timeline",
+    "compile_timeline",
     "timeline_makespan",
+    "timeline_template",
     "GranularitySearcher",
     "RangeSet",
 ]

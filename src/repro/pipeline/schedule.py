@@ -12,18 +12,27 @@ Comm-lane FIFO order interleaves S and R ops ("we schedule S and R to
 be executed in the alternative manner", Sec. III-D); mem-lane offload
 (D) ops follow their producing stage and backward prefetch (H) ops are
 enqueued ahead of need, matching Fig. 7(b)-(d).
+
+The DAG *topology* depends only on ``(n, strategy, include_backward,
+decomposed_comm, sequential)`` — stage costs only scale op works.  The
+builder therefore constructs a cached :class:`TimelineTemplate` per
+topology; :func:`build_timeline` instantiates :class:`Op` objects from
+it, while :func:`compile_timeline` pairs it with a
+:class:`~repro.sim.engine.CompiledDag` so selector loops can re-price
+the same schedule for thousands of scenarios without building Ops at
+all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.comm.cost import NcclCostModel
 from repro.config import MoELayerSpec
 from repro.hardware.device import DeviceSpec
 from repro.hardware.interference import StreamKind
 from repro.memory.strategies import RestoreMethod, Strategy, get_strategy
-from repro.sim.engine import Op, SimEngine, SimResult
+from repro.sim.engine import CompiledDag, Op, SimEngine, SimResult, compile_dag
 
 #: Activations travel in half precision on the wire/HBM in the paper's setup.
 TIMING_BYTES_PER_ELEM = 2
@@ -103,6 +112,211 @@ class MoEStageCosts:
         )
 
 
+@dataclass(eq=False)
+class _TmplOp:
+    """Template op: like :class:`Op` but with symbolic work.
+
+    ``fields`` names the :class:`MoEStageCosts` attributes whose sum is
+    the op's work (empty = zero-work barrier).  Identity hashing so the
+    interleave helper can treat template ops like Ops.
+    """
+
+    name: str
+    stream: StreamKind
+    fields: tuple[str, ...]
+    deps: list["_TmplOp"] = field(default_factory=list)
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class TimelineTemplate:
+    """One ``build_timeline`` topology frozen into index form.
+
+    Ops are positions in lane-submission order; ``deps`` are indices of
+    earlier positions, ``fields`` the cost attributes summed into each
+    op's work.  Instantiating with a :class:`MoEStageCosts` reproduces
+    exactly the Op list the pre-template builder emitted.
+    """
+
+    names: tuple[str, ...]
+    streams: tuple[StreamKind, ...]
+    fields: tuple[tuple[str, ...], ...]
+    deps: tuple[tuple[int, ...], ...]
+    tags: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        # Ops sharing a fields-tuple share one work value, so the fill
+        # loop below resolves each distinct cost expression once instead
+        # of per op.  (frozen dataclass: assign via object.__setattr__)
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for i, fields in enumerate(self.fields):
+            groups.setdefault(fields, []).append(i)
+        object.__setattr__(
+            self, "_work_groups",
+            tuple((fields, tuple(idx)) for fields, idx in groups.items()),
+        )
+
+    def works(self, costs: MoEStageCosts) -> list[float]:
+        """Per-op work vector under ``costs``."""
+        out = [0.0] * len(self.fields)
+        for fields, indices in self._work_groups:
+            if not fields:
+                continue
+            value = getattr(costs, fields[0])
+            for f in fields[1:]:
+                value += getattr(costs, f)
+            for i in indices:
+                out[i] = value
+        return out
+
+    def instantiate(self, costs: MoEStageCosts, device: int = 0) -> list[Op]:
+        """Materialize the template as fresh :class:`Op` objects."""
+        works = self.works(costs)
+        ops: list[Op] = []
+        for i, (name, stream, dep_idx, tag) in enumerate(
+            zip(self.names, self.streams, self.deps, self.tags)
+        ):
+            ops.append(
+                Op(name, device, stream, works[i],
+                   tuple(ops[d] for d in dep_idx), tag)
+            )
+        return ops
+
+
+def _build_template(
+    n: int,
+    strat: Strategy,
+    include_backward: bool,
+    decomposed_comm: bool,
+    sequential: bool,
+) -> TimelineTemplate:
+    """Construct the (n, strategy) topology once, symbolically."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    s_field = "p2p_s_time" if decomposed_comm else "s_time"
+    ops: list[_TmplOp] = []
+
+    def op(name, stream, fields, deps=(), tag=""):
+        o = _TmplOp(name, stream, tuple(fields), list(deps), tag)
+        ops.append(o)
+        return o
+
+    # ---------------------------------------------------------------- forward
+    s_ops, c_ops, r_ops = [], [], []
+    d_ops = []  # device-to-host offloads
+    prev_serial = None
+    for j in range(n):
+        s_deps = []
+        if sequential and prev_serial is not None:
+            s_deps.append(prev_serial)
+        s_j = op(f"S{j}", StreamKind.COMM, [s_field], s_deps, tag="S")
+        c_j = op(f"C{j}", StreamKind.COMP, ["c_fw_time"], [s_j], tag="C")
+        r_j = op(f"R{j}", StreamKind.COMM, [s_field], [c_j], tag="R")
+        s_ops.append(s_j)
+        c_ops.append(c_j)
+        r_ops.append(r_j)
+        prev_serial = r_j
+        if strat.tdi is RestoreMethod.OFFLOAD:
+            d_ops.append(
+                op(f"D_tdi{j}", StreamKind.MEM, ["offload_tdi_time"], [s_j], tag="D")
+            )
+        if strat.tm is RestoreMethod.OFFLOAD:
+            d_ops.append(
+                op(f"D_tm{j}", StreamKind.MEM, ["offload_tm_time"], [c_j], tag="D")
+            )
+
+    # Comm-lane FIFO: reorder the list so S and R alternate (S0 S1 R0 S2 R1 ...).
+    # Sequential timelines keep natural order — S_{j+1} depends on R_j, so
+    # hoisting it ahead in the lane would deadlock the FIFO.
+    if not sequential:
+        _interleave_comm(ops, s_ops, r_ops)
+
+    if include_backward:
+        # --------------------------------------------------------- boundary
+        # The loss/classifier between forward and backward of this layer.
+        boundary_deps = list(r_ops) + d_ops
+        loss = op("loss", StreamKind.COMP, (), boundary_deps, tag="X")
+
+        # --------------------------------------------------------- backward
+        rb_ops, sb_ops = [], []
+        prev_serial = loss
+        for j in range(n):
+            rb_deps = [loss]
+            if sequential:
+                rb_deps.append(prev_serial)
+            rb_j = op(f"Rb{j}", StreamKind.COMM, [s_field], rb_deps, tag="R")
+            cb_deps = [rb_j]
+            # Restore TDI.
+            if strat.tdi is RestoreMethod.OFFLOAD:
+                cb_deps.append(
+                    op(f"H_tdi{j}", StreamKind.MEM, ["offload_tdi_time"], [loss],
+                       tag="H")
+                )
+            elif strat.tdi is RestoreMethod.RECOMM:
+                cb_deps.append(
+                    op(f"S'_{j}", StreamKind.COMM, [s_field], [loss], tag="S")
+                )
+            # Restore TM.
+            if strat.tm is RestoreMethod.OFFLOAD:
+                cb_deps.append(
+                    op(f"H_tm{j}", StreamKind.MEM, ["offload_tm_time"], [loss],
+                       tag="H")
+                )
+            cb_fields = ["c_bw_time"] + (
+                ["recompute_time"] if strat.tm is RestoreMethod.RECOMPUTE else []
+            )
+            cb_j = op(f"Cb{j}", StreamKind.COMP, cb_fields, cb_deps, tag="C")
+            sb_j = op(f"Sb{j}", StreamKind.COMM, [s_field], [cb_j], tag="S")
+            rb_ops.append(rb_j)
+            sb_ops.append(sb_j)
+            prev_serial = sb_j
+
+        if not sequential:
+            _interleave_comm(ops, rb_ops, sb_ops)
+
+    index = {id(o): i for i, o in enumerate(ops)}
+    deps = tuple(tuple(index[id(d)] for d in o.deps) for o in ops)
+    # The interleave only ever moves producers earlier, so positions stay
+    # a valid topological order — which instantiate() relies on.
+    assert all(d < i for i, dd in enumerate(deps) for d in dd)
+    return TimelineTemplate(
+        names=tuple(o.name for o in ops),
+        streams=tuple(o.stream for o in ops),
+        fields=tuple(o.fields for o in ops),
+        deps=deps,
+        tags=tuple(o.tag for o in ops),
+    )
+
+
+_TEMPLATES: dict[tuple, TimelineTemplate] = {}
+_COMPILED: dict[tuple, "CompiledTimeline"] = {}
+
+
+def timeline_template(
+    n: int,
+    strategy: Strategy | str = "none",
+    include_backward: bool = True,
+    decomposed_comm: bool = False,
+    sequential: bool = False,
+) -> TimelineTemplate:
+    """Cached topology lookup — one template per (n, strategy, flags).
+
+    Strategy names key the cache directly (hashing a string beats
+    hashing a Strategy dataclass on the hot path); Strategy objects key
+    on the object, so a name and its registered object may each hold an
+    (identical) template — a few dozen bytes, not worth unifying.
+    """
+    key = (n, strategy, include_backward, decomposed_comm, sequential)
+    template = _TEMPLATES.get(key)
+    if template is None:
+        strat = get_strategy(strategy) if isinstance(strategy, str) else strategy
+        template = _build_template(
+            n, strat, include_backward, decomposed_comm, sequential
+        )
+        _TEMPLATES[key] = template
+    return template
+
+
 def build_timeline(
     costs: MoEStageCosts,
     n: int,
@@ -118,91 +332,63 @@ def build_timeline(
     semantics: no overlap even across lanes).  ``decomposed_comm`` prices
     All-to-Alls with the point-to-point decomposition (FasterMoE).
     """
-    strat = get_strategy(strategy) if isinstance(strategy, str) else strategy
-    s_time = costs.p2p_s_time if decomposed_comm else costs.s_time
-    ops: list[Op] = []
+    template = timeline_template(
+        n, strategy, include_backward, decomposed_comm, sequential
+    )
+    return template.instantiate(costs, device=device)
 
-    def op(name, stream, work, deps=(), tag=""):
-        o = Op(name, device, stream, work, tuple(deps), tag)
-        ops.append(o)
-        return o
 
-    # ---------------------------------------------------------------- forward
-    s_ops, c_ops, r_ops = [], [], []
-    d_ops = []  # device-to-host offloads
-    prev_serial = None
-    for j in range(n):
-        s_deps = []
-        if sequential and prev_serial is not None:
-            s_deps.append(prev_serial)
-        s_j = op(f"S{j}", StreamKind.COMM, s_time, s_deps, tag="S")
-        c_j = op(f"C{j}", StreamKind.COMP, costs.c_fw_time, [s_j], tag="C")
-        r_j = op(f"R{j}", StreamKind.COMM, s_time, [c_j], tag="R")
-        s_ops.append(s_j)
-        c_ops.append(c_j)
-        r_ops.append(r_j)
-        prev_serial = r_j
-        if strat.tdi is RestoreMethod.OFFLOAD:
-            d_ops.append(
-                op(f"D_tdi{j}", StreamKind.MEM, costs.offload_tdi_time, [s_j], tag="D")
-            )
-        if strat.tm is RestoreMethod.OFFLOAD:
-            d_ops.append(
-                op(f"D_tm{j}", StreamKind.MEM, costs.offload_tm_time, [c_j], tag="D")
-            )
+@dataclass(frozen=True)
+class CompiledTimeline:
+    """A timeline topology bound to its :class:`CompiledDag`.
 
-    # Comm-lane FIFO: reorder the list so S and R alternate (S0 S1 R0 S2 R1 ...).
-    # Sequential timelines keep natural order — S_{j+1} depends on R_j, so
-    # hoisting it ahead in the lane would deadlock the FIFO.
-    if not sequential:
-        _interleave_comm(ops, s_ops, r_ops)
+    ``makespan(costs)`` prices the schedule without constructing a
+    single :class:`Op` — the per-scenario cost is just the work-vector
+    fill plus the engine's index-array event loop.
+    """
 
-    if not include_backward:
-        return ops
+    template: TimelineTemplate
+    dag: CompiledDag
 
-    # ------------------------------------------------------------- boundary
-    # The loss/classifier between forward and backward of this layer.
-    boundary_deps = list(r_ops) + d_ops
-    loss = op("loss", StreamKind.COMP, 0.0, boundary_deps, tag="X")
+    def works(self, costs: MoEStageCosts) -> list[float]:
+        return self.template.works(costs)
 
-    # ---------------------------------------------------------------- backward
-    rb_ops, sb_ops = [], []
-    prev_serial = loss
-    for j in range(n):
-        rb_deps = [loss]
-        if sequential:
-            rb_deps.append(prev_serial)
-        rb_j = op(f"Rb{j}", StreamKind.COMM, s_time, rb_deps, tag="R")
-        cb_deps = [rb_j]
-        # Restore TDI.
-        if strat.tdi is RestoreMethod.OFFLOAD:
-            cb_deps.append(
-                op(f"H_tdi{j}", StreamKind.MEM, costs.offload_tdi_time, [loss], tag="H")
-            )
-        elif strat.tdi is RestoreMethod.RECOMM:
-            cb_deps.append(
-                op(f"S'_{j}", StreamKind.COMM, s_time, [loss], tag="S")
-            )
-        # Restore TM.
-        if strat.tm is RestoreMethod.OFFLOAD:
-            cb_deps.append(
-                op(f"H_tm{j}", StreamKind.MEM, costs.offload_tm_time, [loss], tag="H")
-            )
-        cb_work = costs.c_bw_time + (
-            costs.recompute_time if strat.tm is RestoreMethod.RECOMPUTE else 0.0
+    def makespan(self, costs: MoEStageCosts, engine: SimEngine | None = None) -> float:
+        return (engine or SimEngine()).compiled_makespan(
+            self.dag, self.template.works(costs)
         )
-        cb_j = op(f"Cb{j}", StreamKind.COMP, cb_work, cb_deps, tag="C")
-        sb_j = op(f"Sb{j}", StreamKind.COMM, s_time, [cb_j], tag="S")
-        rb_ops.append(rb_j)
-        sb_ops.append(sb_j)
-        prev_serial = sb_j
-
-    if not sequential:
-        _interleave_comm(ops, rb_ops, sb_ops)
-    return ops
 
 
-def _interleave_comm(ops: list[Op], first: list[Op], second: list[Op]) -> None:
+def compile_timeline(
+    n: int,
+    strategy: Strategy | str = "none",
+    include_backward: bool = True,
+    device: int = 0,
+    decomposed_comm: bool = False,
+    sequential: bool = False,
+) -> CompiledTimeline:
+    """Cached compiled form of one ``build_timeline`` topology."""
+    key = (n, strategy, include_backward, decomposed_comm, sequential, device)
+    compiled = _COMPILED.get(key)
+    if compiled is None:
+        template = timeline_template(
+            n, strategy, include_backward, decomposed_comm, sequential
+        )
+        dag = compile_dag(template.instantiate(_UNIT_COSTS, device=device))
+        compiled = CompiledTimeline(template=template, dag=dag)
+        _COMPILED[key] = compiled
+    return compiled
+
+
+#: Placeholder costs used only to materialize a template for compilation
+#: (the compiled dag's default work vector is never read by the cache).
+_UNIT_COSTS = MoEStageCosts(
+    s_time=1.0, c_fw_time=1.0, c_bw_time=1.0, recompute_time=1.0,
+    offload_tdi_time=1.0, offload_tm_time=1.0, p2p_s_time=1.0,
+)
+
+
+def _interleave_comm(ops: list, first: list, second: list) -> None:
     """Reorder ``ops`` in place so the comm lane sees S/R alternating.
 
     Lane order is submission order in the simulator; we pull the comm ops
@@ -211,15 +397,14 @@ def _interleave_comm(ops: list[Op], first: list[Op], second: list[Op]) -> None:
     are (only relative order within a lane matters).
     """
     n = len(first)
-    desired: list[Op] = []
+    desired: list = []
     for j in range(n):
         desired.append(first[j])
         if j >= 1:
             desired.append(second[j - 1])
     desired.append(second[n - 1])
-    comm_positions = [
-        i for i, o in enumerate(ops) if o in set(first) | set(second)
-    ]
+    members = set(map(id, first)) | set(map(id, second))
+    comm_positions = [i for i, o in enumerate(ops) if id(o) in members]
     for pos, o in zip(comm_positions, desired):
         ops[pos] = o
 

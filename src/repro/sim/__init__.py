@@ -13,15 +13,24 @@ frees return blocks to a size-bucketed cache, allocation prefers cached
 blocks, and the high-water mark is tracked exactly.
 """
 
-from repro.sim.engine import Op, SimEngine, SimResult, OpRecord
+from repro.sim.engine import (
+    CompiledDag,
+    Op,
+    OpRecord,
+    SimEngine,
+    SimResult,
+    compile_dag,
+)
 from repro.sim.memory_allocator import CachingAllocator, OutOfMemoryError
 from repro.sim.trace import to_chrome_trace
 
 __all__ = [
+    "CompiledDag",
     "Op",
     "SimEngine",
     "SimResult",
     "OpRecord",
+    "compile_dag",
     "CachingAllocator",
     "OutOfMemoryError",
     "to_chrome_trace",

@@ -27,6 +27,19 @@ Two implementations share these semantics:
   (rescan all lanes and recompute all rates every event).  Kept as the
   behavioural oracle for the golden-trace tests and as the baseline that
   ``benchmarks/bench_sim_engine.py`` measures the fast path against.
+
+Beyond the recorded run, :class:`SimEngine` offers two cheaper modes
+with identical makespan semantics:
+
+* ``run(ops, record=False)`` / :meth:`SimEngine.makespan` — the same
+  event loop without :class:`OpRecord`/trace allocation, for selector
+  inner loops that only read the makespan;
+* :func:`compile_dag` + :meth:`SimEngine.compiled_makespan` — the DAG
+  topology (lane order, dependency lists, stream kinds) flattened once
+  into index arrays, re-runnable with different per-op work vectors.
+  This is what lets ``build_timeline`` topologies be compiled per
+  ``(n, strategy)`` and re-priced per scenario without reconstructing
+  thousands of :class:`Op` objects.
 """
 
 from __future__ import annotations
@@ -162,6 +175,78 @@ def _deadlock_error(ops: list[Op], done: set[Op]) -> RuntimeError:
     )
 
 
+_KIND_INDEX = {StreamKind.COMP: 0, StreamKind.COMM: 1, StreamKind.MEM: 2}
+_KIND_BY_INDEX = (StreamKind.COMP, StreamKind.COMM, StreamKind.MEM)
+
+
+@dataclass(frozen=True)
+class CompiledDag:
+    """A validated Op DAG flattened into index arrays.
+
+    Ops are addressed by their submission position.  The topology (lane
+    membership and order, dependency counts, children) is fixed at
+    compile time; only the per-op work vector varies between runs, so a
+    single compilation can price arbitrarily many scenarios via
+    :meth:`SimEngine.compiled_makespan`.
+    """
+
+    names: tuple[str, ...]
+    tags: tuple[str, ...]
+    lane_ops: tuple[tuple[int, ...], ...]  # per lane: op indices, FIFO order
+    lane_device: tuple[int, ...]
+    lane_kidx: tuple[int, ...]  # stream-kind index (comp=0, comm=1, mem=2)
+    op_lane: tuple[int, ...]  # per op: its lane index
+    dep_count: tuple[int, ...]
+    children: tuple[tuple[int, ...], ...]
+    works: tuple[float, ...]  # the template's own work vector (default run)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.names)
+
+    def stream_of(self, i: int) -> StreamKind:
+        return _KIND_BY_INDEX[self.lane_kidx[self.op_lane[i]]]
+
+
+def compile_dag(ops: Sequence[Op]) -> CompiledDag:
+    """Validate ``ops`` once and flatten the topology into a :class:`CompiledDag`."""
+    ops = list(ops)
+    children_map = _validate(ops)
+    index = {op.uid: i for i, op in enumerate(ops)}
+
+    lane_ids: dict[int, int] = {}
+    lane_ops: list[list[int]] = []
+    lane_device: list[int] = []
+    lane_kidx: list[int] = []
+    op_lane: list[int] = []
+    for i, op in enumerate(ops):
+        kidx = _KIND_INDEX[op.stream]
+        key = op.device * 4 + kidx
+        lane = lane_ids.get(key)
+        if lane is None:
+            lane = len(lane_ops)
+            lane_ids[key] = lane
+            lane_ops.append([])
+            lane_device.append(op.device)
+            lane_kidx.append(kidx)
+        lane_ops[lane].append(i)
+        op_lane.append(lane)
+
+    return CompiledDag(
+        names=tuple(op.name for op in ops),
+        tags=tuple(op.tag for op in ops),
+        lane_ops=tuple(tuple(q) for q in lane_ops),
+        lane_device=tuple(lane_device),
+        lane_kidx=tuple(lane_kidx),
+        op_lane=tuple(op_lane),
+        dep_count=tuple(len(op.deps) for op in ops),
+        children=tuple(
+            tuple(index[c.uid] for c in children_map.get(op, ())) for op in ops
+        ),
+        works=tuple(op.work for op in ops),
+    )
+
+
 class SimEngine:
     """Runs a DAG of :class:`Op` to completion and returns a :class:`SimResult`.
 
@@ -174,8 +259,20 @@ class SimEngine:
 
     def __init__(self, interference: InterferenceModel | None = None) -> None:
         self.interference = interference or PAPER_INTERFERENCE
+        self._flat_rates: list[float] | None = None
 
-    def run(self, ops: Sequence[Op]) -> SimResult:
+    def makespan(self, ops: Sequence[Op]) -> float:
+        """Makespan of the DAG without building any trace records."""
+        return self.run(ops, record=False).makespan
+
+    def run(self, ops: Sequence[Op], record: bool = True) -> SimResult:
+        """Run the DAG; ``record=False`` skips all trace allocation.
+
+        The records-free mode executes the identical event loop (same
+        makespan to the last bit) but never constructs an
+        :class:`OpRecord`, which removes the dominant allocation cost in
+        selector inner loops that only consume ``result.makespan``.
+        """
         ops = list(ops)
         children = _validate(ops)
 
@@ -231,7 +328,10 @@ class SimEngine:
 
         def complete(op: Op, start: float, end: float) -> None:
             done.add(op.uid)
-            records.append(OpRecord(op.name, op.device, op.stream, op.tag, start, end))
+            if record:
+                records.append(
+                    OpRecord(op.name, op.device, op.stream, op.tag, start, end)
+                )
             for child in child_map[op.uid]:
                 cuid = child.uid
                 remaining_deps[cuid] -= 1
@@ -263,7 +363,8 @@ class SimEngine:
                 rem[uid] = op.work
                 rate[uid] = 0.0  # placeholder until the device refresh
                 synced_at[uid] = now
-                started_at[uid] = now
+                if record:
+                    started_at[uid] = now
                 token[uid] = 0
                 dev_running.setdefault(device, []).append((uid, kidx))
                 # One lane per (device, kind) runs one op at a time, so a
@@ -318,14 +419,193 @@ class SimEngine:
             dev_running[device].remove((uid, kidx))
             dev_mask[device] &= ~(1 << kidx)
             dirty.add(device)
-            complete(op, started_at.pop(uid), now)
+            complete(op, started_at.pop(uid) if record else now, now)
             pending.append(device * 4 + kidx)
             settle_frontier()
 
         if len(done) != len(ops):
             done_ops = {op for op in ops if op.uid in done}
             raise _deadlock_error(ops, done_ops)
-        records.sort(key=lambda r: (r.start, r.device, r.stream.value))
+        if record:
+            records.sort(key=lambda r: (r.start, r.device, r.stream.value))
+        return SimResult(makespan=now, records=records)
+
+    # -- compiled fast path ----------------------------------------------------
+    def _rate_table(self) -> list[float]:
+        """Flat slowdown table indexed ``kidx * 8 + active_bitmask``.
+
+        At most 3 kinds x 8 masks exist; built once per engine since it
+        is a pure function of the interference model.
+        """
+        if self._flat_rates is None:
+            kinds = {0: StreamKind.COMP, 1: StreamKind.COMM, 2: StreamKind.MEM}
+            table = [1.0] * 24
+            for kidx, victim in kinds.items():
+                for mask in range(1, 8):
+                    active = {kinds[i] for i in range(3) if mask & (1 << i)}
+                    table[kidx * 8 + mask] = self.interference.slowdown(
+                        victim, active | {victim}
+                    )
+            self._flat_rates = table
+        return self._flat_rates
+
+    def compiled_makespan(
+        self, dag: CompiledDag, works: Sequence[float] | None = None
+    ) -> float:
+        """Makespan of a :class:`CompiledDag` with ``works`` plugged in."""
+        return self.run_compiled(dag, works, record=False).makespan
+
+    def run_compiled(
+        self,
+        dag: CompiledDag,
+        works: Sequence[float] | None = None,
+        record: bool = False,
+    ) -> SimResult:
+        """Run a :class:`CompiledDag` with per-op ``works`` plugged in.
+
+        Same fluid semantics and event order as :meth:`run` — heap ties
+        break on submission index exactly as they break on ``uid`` there
+        — but over flat index arrays with no Op or validation cost per
+        call.  ``record=True`` rebuilds the full :class:`OpRecord` trace
+        (identical to running the instantiated Op DAG); the default
+        makespan-only mode allocates nothing per op.
+        """
+        if works is None:
+            works = dag.works
+        num = dag.num_ops
+        if len(works) != num:
+            raise ValueError(f"expected {num} works, got {len(works)}")
+        if num and min(works) < 0:
+            raise ValueError("op works must be non-negative")
+        rates = self._rate_table()
+        lane_ops, lane_device, lane_kidx = dag.lane_ops, dag.lane_device, dag.lane_kidx
+        op_lane, children = dag.op_lane, dag.children
+        if record:
+            names, tags = dag.names, dag.tags
+            lane_stream = tuple(_KIND_BY_INDEX[k] for k in lane_kidx)
+            started_at = [0.0] * num
+
+        dep_rem = list(dag.dep_count)
+        lane_pos = [0] * len(lane_ops)
+        finished = bytearray(num)
+        running = bytearray(num)
+        rem = [0.0] * num
+        rate = [0.0] * num
+        synced_at = [0.0] * num
+        token = [0] * num
+        dev_running: dict[int, list[tuple[int, int]]] = {}
+        dev_mask: dict[int, int] = {}
+        dirty: set[int] = set()
+        heap: list[tuple[float, int, int]] = []
+        pending: list[int] = list(range(len(lane_ops)))
+        records: list[OpRecord] = []
+        done_count = 0
+        now = 0.0
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        def settle_frontier() -> None:
+            """Start startable lane heads, then re-rate dirty devices.
+
+            The lane-head scan, zero-work completion, and device refresh
+            are inlined (not helper calls): this body runs once per
+            event and per-event Python call overhead is what the
+            compiled mode exists to shave.
+            """
+            nonlocal done_count
+            while pending:
+                lane = pending.pop()
+                queue = lane_ops[lane]
+                pos = lane_pos[lane]
+                while True:
+                    while pos < len(queue) and finished[queue[pos]]:
+                        pos += 1
+                    lane_pos[lane] = pos
+                    if pos >= len(queue):
+                        break
+                    i = queue[pos]
+                    if running[i] or dep_rem[i] > 0:
+                        break
+                    if works[i] <= _EPS:
+                        # Zero-work op: completes instantly, may unblock
+                        # children (their lanes join ``pending``).
+                        if record:
+                            records.append(
+                                OpRecord(names[i], lane_device[lane],
+                                         lane_stream[lane], tags[i], now, now)
+                            )
+                        finished[i] = 1
+                        done_count += 1
+                        for child in children[i]:
+                            dep_rem[child] -= 1
+                            if dep_rem[child] == 0:
+                                pending.append(op_lane[child])
+                        pos += 1
+                        lane_pos[lane] = pos
+                        continue
+                    device, kidx = lane_device[lane], lane_kidx[lane]
+                    running[i] = 1
+                    rem[i] = works[i]
+                    rate[i] = 0.0
+                    synced_at[i] = now
+                    if record:
+                        started_at[i] = now
+                    token[i] = 0
+                    dev_running.setdefault(device, []).append((i, kidx))
+                    dev_mask[device] = dev_mask.get(device, 0) | (1 << kidx)
+                    dirty.add(device)
+                    break
+            if dirty:
+                for device in dirty:
+                    mask = dev_mask.get(device, 0)
+                    for i, kidx in dev_running.get(device, ()):
+                        new_rate = rates[kidx * 8 + mask]
+                        old_rate = rate[i]
+                        if new_rate == old_rate:
+                            continue
+                        if old_rate > 0.0:
+                            remaining = rem[i] - (now - synced_at[i]) * old_rate
+                            rem[i] = remaining if remaining > 0.0 else 0.0
+                        rate[i] = new_rate
+                        synced_at[i] = now
+                        tok = token[i] + 1
+                        token[i] = tok
+                        heappush(heap, (now + rem[i] / new_rate, i, tok))
+                dirty.clear()
+
+        settle_frontier()
+        while heap:
+            pred_finish, i, entry_token = heappop(heap)
+            if not running[i] or entry_token != token[i]:
+                continue
+            now = pred_finish
+            running[i] = 0
+            lane = op_lane[i]
+            device, kidx = lane_device[lane], lane_kidx[lane]
+            dev_running[device].remove((i, kidx))
+            dev_mask[device] &= ~(1 << kidx)
+            dirty.add(device)
+            if record:
+                records.append(
+                    OpRecord(names[i], device, lane_stream[lane], tags[i],
+                             started_at[i], now)
+                )
+            finished[i] = 1
+            done_count += 1
+            for child in children[i]:
+                dep_rem[child] -= 1
+                if dep_rem[child] == 0:
+                    pending.append(op_lane[child])
+            pending.append(lane)
+            settle_frontier()
+
+        if done_count != num:
+            stuck = [dag.names[i] for i in range(num) if not finished[i]][:8]
+            raise RuntimeError(
+                f"simulation deadlocked with {num - done_count} ops pending, "
+                f"e.g. {stuck} — check for dependency cycles or cross-lane ordering"
+            )
+        if record:
+            records.sort(key=lambda r: (r.start, r.device, r.stream.value))
         return SimResult(makespan=now, records=records)
 
 
@@ -336,6 +616,10 @@ class ReferenceSimEngine:
 
     def __init__(self, interference: InterferenceModel | None = None) -> None:
         self.interference = interference or PAPER_INTERFERENCE
+
+    def makespan(self, ops: Sequence[Op]) -> float:
+        """API parity with :meth:`SimEngine.makespan` (full run, no shortcut)."""
+        return self.run(ops).makespan
 
     def run(self, ops: Sequence[Op]) -> SimResult:
         ops = list(ops)

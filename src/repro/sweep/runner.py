@@ -18,6 +18,15 @@ built in:
 
 Custom evaluators must be module-level functions (worker processes
 import them by qualified name, the standard pickle contract).
+
+Both built-in evaluators resolve their :class:`SystemContext` through a
+process-wide pool (:func:`shared_context`), so every scenario evaluated
+in one process — serially or inside one pool worker — shares the
+context's memoized :class:`~repro.perfmodel.evalcache.Evaluator`: stage
+costs, compiled-timeline makespans and footprints computed for one
+scenario are reused by every later scenario at the same world size.
+Timeline scenarios never read the trace, so they are priced through the
+records-free makespan-only mode by default.
 """
 
 from __future__ import annotations
@@ -31,7 +40,6 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.config import get_preset
-from repro.pipeline.schedule import MoEStageCosts, build_timeline
 from repro.sweep.grid import Scenario, ScenarioGrid
 from repro.systems import (
     FastMoEModel,
@@ -42,6 +50,21 @@ from repro.systems import (
 from repro.systems.base import SystemContext
 
 Evaluator = Callable[[Scenario], dict]
+
+#: Process-wide context pool, keyed by world size.  Worker processes each
+#: grow their own copy (the pool is never pickled), which is exactly the
+#: intra-process reuse wanted: scenarios dispatched to one worker share
+#: one memoized evaluator per world size.
+_CONTEXTS: dict[int | None, SystemContext] = {}
+
+
+def shared_context(world_size: int | None) -> SystemContext:
+    """The process's shared :class:`SystemContext` for ``world_size``."""
+    ctx = _CONTEXTS.get(world_size)
+    if ctx is None:
+        ctx = SystemContext(world_size=world_size)
+        _CONTEXTS[world_size] = ctx
+    return ctx
 
 
 def _make_system(scenario: Scenario, ctx: SystemContext):
@@ -77,7 +100,7 @@ def _make_system(scenario: Scenario, ctx: SystemContext):
 
 def evaluate_system(scenario: Scenario) -> dict:
     """Evaluate one operating point through its system model."""
-    ctx = SystemContext(world_size=scenario.world_size)
+    ctx = shared_context(scenario.world_size)
     model = _make_system(scenario, ctx)
     report = model.evaluate(get_preset(scenario.spec), scenario.batch)
     return {
@@ -94,25 +117,23 @@ def evaluate_system(scenario: Scenario) -> dict:
 
 
 def evaluate_timeline(scenario: Scenario) -> dict:
-    """Price one explicit ``build_timeline`` schedule (ablation backend)."""
+    """Price one explicit ``build_timeline`` schedule (ablation backend).
+
+    Timeline points never read the trace, so this goes through the
+    evaluator's memoized makespan-only path: no Op DAG, no records.
+    """
     if scenario.n is None:
         raise ValueError("timeline scenarios need an explicit n")
-    ctx = SystemContext(world_size=scenario.world_size)
-    costs = MoEStageCosts.compute(
+    ctx = shared_context(scenario.world_size)
+    makespan = ctx.evaluator.makespan(
         get_preset(scenario.spec), scenario.batch, scenario.n,
-        ctx.device, ctx.comm_model(),
-    )
-    ops = build_timeline(
-        costs,
-        scenario.n,
-        strategy=scenario.strategy or "none",
+        scenario.strategy or "none",
         decomposed_comm=scenario.decomposed_comm,
         sequential=scenario.sequential,
     )
-    sim = ctx.engine.run(ops)
     return {
-        "makespan": sim.makespan,
-        "iteration_time": sim.makespan,
+        "makespan": makespan,
+        "iteration_time": makespan,
         "n": scenario.n,
         "strategy": scenario.strategy or "none",
     }

@@ -9,6 +9,7 @@ from repro.config import ClusterSpec, DGX_A100_CLUSTER, MoELayerSpec
 from repro.hardware.device import A100_SXM_40GB, DeviceSpec
 from repro.hardware.topology import ClusterTopology
 from repro.memory.footprint import FootprintModel
+from repro.perfmodel.evalcache import Evaluator
 from repro.sim.engine import SimEngine, SimResult
 
 
@@ -35,7 +36,13 @@ class SystemReport:
 
 @dataclass
 class SystemContext:
-    """Cluster/device context shared by all system models in a comparison."""
+    """Cluster/device context shared by all system models in a comparison.
+
+    The context also owns the memoized :class:`Evaluator`: every system
+    model built on one context shares stage costs, makespans, footprints
+    and recorded sims, so e.g. the granularity search and the strategy
+    search stop recomputing each other's work.
+    """
 
     cluster: ClusterSpec = DGX_A100_CLUSTER
     device: DeviceSpec = A100_SXM_40GB
@@ -44,6 +51,7 @@ class SystemContext:
     def __post_init__(self) -> None:
         self.topology = ClusterTopology(self.cluster)
         self.engine = SimEngine()
+        self.evaluator = Evaluator(self)
 
     @property
     def effective_world(self) -> int:

@@ -18,7 +18,6 @@ Characteristics reproduced (Sec. III-B, Fig. 5a; Sec. V-D):
 from __future__ import annotations
 
 from repro.config import MoELayerSpec
-from repro.pipeline.schedule import MoEStageCosts, build_timeline
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
 #: FasterMoE's fixed pipeline degree (its coarse-grained default).
@@ -53,22 +52,18 @@ class FasterMoEModel(SystemModel):
 
     def shadowing_bytes(self, spec: MoELayerSpec) -> int:
         """Device memory of shadowed expert replicas (params + grads, x2)."""
-        fp = self.context.footprint(spec)
+        fp = self.context.evaluator.footprint(spec)
         per_expert = spec.expert_params * fp.bytes_per_elem
         return 2 * self.shadowed_experts * per_expert
 
     def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
         n = min(self.fixed_n, self.context.effective_world)
-        costs = MoEStageCosts.compute(
-            spec,
-            batch,
-            n=n,
-            device=self.context.device,
-            comm=self.context.comm_model(),
-            gemm_derate=self.gemm_derate,
+        evaluator = self.context.evaluator
+        sim = evaluator.simulate(
+            spec, batch, n, "none",
+            decomposed_comm=True, gemm_derate=self.gemm_derate,
         )
-        ops = build_timeline(costs, n=n, strategy="none", decomposed_comm=True)
-        sim = self.context.engine.run(ops)
-        fp = self.context.footprint(spec)
-        memory = fp.total_bytes(batch, pipelined=n > 1) + self.shadowing_bytes(spec)
+        memory = evaluator.footprint_bytes(
+            spec, batch, pipelined=n > 1
+        ) + self.shadowing_bytes(spec)
         return self._report(spec, batch, sim, memory, n=n, strategy="none")

@@ -12,7 +12,6 @@ baseline).
 from __future__ import annotations
 
 from repro.config import MoELayerSpec
-from repro.pipeline.schedule import MoEStageCosts, build_timeline
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
 #: Fraction of MPipeMoE's sustained GEMM rate FastMoE achieves (no
@@ -30,15 +29,10 @@ class FastMoEModel(SystemModel):
         self.gemm_derate = gemm_derate
 
     def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
-        costs = MoEStageCosts.compute(
-            spec,
-            batch,
-            n=1,
-            device=self.context.device,
-            comm=self.context.comm_model(),
-            gemm_derate=self.gemm_derate,
+        evaluator = self.context.evaluator
+        sim = evaluator.simulate(
+            spec, batch, 1, "none",
+            sequential=True, gemm_derate=self.gemm_derate,
         )
-        ops = build_timeline(costs, n=1, strategy="none", sequential=True)
-        sim = self.context.engine.run(ops)
-        memory = self.context.footprint(spec).total_bytes(batch, pipelined=False)
+        memory = evaluator.footprint_bytes(spec, batch, pipelined=False)
         return self._report(spec, batch, sim, memory, n=1, strategy="none")

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from repro.config import MoELayerSpec
 from repro.memory.strategies import get_strategy
-from repro.perfmodel.cost import HardwareRates, PerfModel
-from repro.perfmodel.selector import StrategySelector
-from repro.pipeline.schedule import MoEStageCosts, build_timeline
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 from repro.systems.pipemoe import DEFAULT_CANDIDATES, PipeMoEModel
+
+#: Strategy-search candidates of Sec. III-E (Table II's reuse rows).
+REUSE_STRATEGIES = ("S1", "S2", "S3", "S4")
 
 
 class MPipeMoEModel(SystemModel):
@@ -44,21 +44,17 @@ class MPipeMoEModel(SystemModel):
             self.name = f"MPipeMoE({fixed_strategy})"
 
     def _simulated_strategy(self, spec: MoELayerSpec, batch: int, n: int) -> str:
-        footprint = self.context.footprint(spec)
-        capacity = self.context.device.memory_bytes
-        costs = MoEStageCosts.compute(
-            spec, batch, n, self.context.device, self.context.comm_model()
-        )
+        evaluator = self.context.evaluator
+        # All four reuse strategies share the Eq. 5 footprint, so the
+        # capacity check is loop-invariant: one probe decides feasibility
+        # for the whole search.
+        if not evaluator.fits(spec, batch, n):
+            raise MemoryError(f"no reuse strategy fits batch={batch}, n={n}")
         best_name, best_time = None, float("inf")
-        for name in ("S1", "S2", "S3", "S4"):
-            if footprint.total_bytes(batch, pipelined=True, reuse_n=n) > capacity:
-                continue
-            ops = build_timeline(costs, n=n, strategy=name)
-            t = self.context.engine.run(ops).makespan
+        for name in REUSE_STRATEGIES:
+            t = evaluator.makespan(spec, batch, n, name)
             if t < best_time:
                 best_name, best_time = name, t
-        if best_name is None:
-            raise MemoryError(f"no reuse strategy fits batch={batch}, n={n}")
         return best_name
 
     def choose_strategy(self, spec: MoELayerSpec, batch: int, n: int) -> str:
@@ -68,26 +64,15 @@ class MPipeMoEModel(SystemModel):
             return self.fixed_strategy
         if self.sim_selection:
             return self._simulated_strategy(spec, batch, n)
-        rates = HardwareRates.from_cluster(
-            self.context.device, self.context.comm_model()
-        )
-        selector = StrategySelector(
-            PerfModel(spec, rates),
-            footprint=self.context.footprint(spec),
-            device_capacity=self.context.device.memory_bytes,
-        )
-        return selector.select(batch, n).strategy.name
+        return self.context.evaluator.selector(spec).select(batch, n).strategy.name
 
     def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
         n = self.pipemoe.choose_n(spec, batch)
         strategy = self.choose_strategy(spec, batch, n)
-        costs = MoEStageCosts.compute(
-            spec, batch, n, self.context.device, self.context.comm_model()
-        )
-        ops = build_timeline(costs, n=n, strategy=strategy)
-        sim = self.context.engine.run(ops)
+        evaluator = self.context.evaluator
+        sim = evaluator.simulate(spec, batch, n, strategy)
         reuse_n = n if strategy != "none" else 0
-        memory = self.context.footprint(spec).total_bytes(
-            batch, pipelined=n > 1, reuse_n=reuse_n
+        memory = evaluator.footprint_bytes(
+            spec, batch, pipelined=n > 1, reuse_n=reuse_n
         )
         return self._report(spec, batch, sim, memory, n=n, strategy=strategy)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.config import MoELayerSpec
 from repro.pipeline.granularity import GranularitySearcher
-from repro.pipeline.schedule import MoEStageCosts, build_timeline
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
 DEFAULT_CANDIDATES = (1, 2, 4, 8, 16)
@@ -34,21 +33,20 @@ class PipeMoEModel(SystemModel):
         if fixed_n is not None:
             self.name = f"PipeMoE(n={fixed_n})"
 
-    def _iteration(self, spec: MoELayerSpec, batch: int, n: int):
-        costs = MoEStageCosts.compute(
-            spec, batch, n, self.context.device, self.context.comm_model()
-        )
-        ops = build_timeline(costs, n=n, strategy="none")
-        return self.context.engine.run(ops)
-
     def choose_n(self, spec: MoELayerSpec, batch: int) -> int:
-        """Algorithm 1 per model spec (a layer has its own searcher state)."""
+        """Algorithm 1 per model spec (a layer has its own searcher state).
+
+        Trials price candidates through the shared evaluator's
+        makespan-only path: no Op DAG or trace is built per candidate,
+        and repeat probes (including MPipeMoE's) hit the memo.
+        """
         if self.fixed_n is not None:
             return self.fixed_n
         searcher = self._searchers.get(spec.name)
         if searcher is None:
+            evaluator = self.context.evaluator
             searcher = GranularitySearcher(
-                evaluate=lambda b, n: self._iteration(spec, b, n).makespan,
+                evaluate=lambda b, n: evaluator.makespan(spec, b, n, "none"),
                 candidates=self.candidates,
             )
             self._searchers[spec.name] = searcher
@@ -56,6 +54,7 @@ class PipeMoEModel(SystemModel):
 
     def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
         n = self.choose_n(spec, batch)
-        sim = self._iteration(spec, batch, n)
-        memory = self.context.footprint(spec).total_bytes(batch, pipelined=n > 1)
+        evaluator = self.context.evaluator
+        sim = evaluator.simulate(spec, batch, n, "none")
+        memory = evaluator.footprint_bytes(spec, batch, pipelined=n > 1)
         return self._report(spec, batch, sim, memory, n=n, strategy="none")

@@ -1,0 +1,169 @@
+"""Cache correctness of the shared memoized Evaluator.
+
+The contract under test: a warm (memoizing, compiled-fast-path)
+evaluator produces results identical to cold evaluation — same floats,
+same reports, same MemoryError on the no-fit path — across all system
+models and strategies.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import MOE_GPT3_XL, get_preset
+from repro.perfmodel.evalcache import Evaluator
+from repro.pipeline.schedule import MoEStageCosts, build_timeline
+from repro.systems import (
+    FastMoEModel,
+    FasterMoEModel,
+    MPipeMoEModel,
+    PipeMoEModel,
+)
+from repro.systems.base import SystemContext
+
+WORLD = 16
+BATCHES = (4096, 16384)
+
+
+def make_context(enabled: bool, **kwargs) -> SystemContext:
+    ctx = SystemContext(world_size=WORLD, **kwargs)
+    ctx.evaluator.enabled = enabled
+    return ctx
+
+
+SYSTEM_FACTORIES = {
+    "fastmoe": lambda ctx: FastMoEModel(ctx),
+    "fastermoe": lambda ctx: FasterMoEModel(ctx),
+    "pipemoe": lambda ctx: PipeMoEModel(ctx),
+    "pipemoe_n1": lambda ctx: PipeMoEModel(ctx, fixed_n=1),
+    "mpipemoe": lambda ctx: MPipeMoEModel(ctx),
+    "mpipemoe_S2": lambda ctx: MPipeMoEModel(ctx, fixed_n=4, fixed_strategy="S2"),
+    "mpipemoe_eq10": lambda ctx: MPipeMoEModel(ctx, fixed_n=4, sim_selection=False),
+}
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("name", sorted(SYSTEM_FACTORIES))
+    def test_reports_identical(self, name):
+        """Every field of every report matches cold evaluation exactly."""
+        factory = SYSTEM_FACTORIES[name]
+        cold_model = factory(make_context(enabled=False))
+        warm_model = factory(make_context(enabled=True))
+        spec = get_preset("GPT-XL")
+        for batch in BATCHES:
+            cold = cold_model.evaluate(spec, batch)
+            warm = warm_model.evaluate(spec, batch)
+            # SystemReport is frozen; == compares every field bit-exactly.
+            assert warm == cold, (name, batch)
+            # Second warm pass is served from the memo and stays identical.
+            assert warm_model.evaluate(spec, batch) == cold
+
+    def test_repeat_evaluation_hits_cache(self):
+        ctx = make_context(enabled=True)
+        model = MPipeMoEModel(ctx)
+        model.evaluate(MOE_GPT3_XL, 8192)
+        misses = ctx.evaluator.stats.makespan_misses
+        model.evaluate(MOE_GPT3_XL, 8192)
+        assert ctx.evaluator.stats.makespan_misses == misses
+        assert ctx.evaluator.stats.makespan_hits > 0
+
+    def test_models_sharing_a_context_share_the_memo(self):
+        """PipeMoE's n-search probes 'none' timelines that MPipeMoE's own
+        search would otherwise recompute — one context, one cache."""
+        ctx = make_context(enabled=True)
+        PipeMoEModel(ctx).evaluate(MOE_GPT3_XL, 8192)
+        misses = ctx.evaluator.stats.makespan_misses
+        MPipeMoEModel(ctx).evaluate(MOE_GPT3_XL, 8192)
+        # MPipeMoE re-runs the n-search (all hits) and only pays for the
+        # four reuse-strategy timelines it alone needs.
+        assert ctx.evaluator.stats.makespan_misses == misses + 4
+
+
+class TestBuildingBlocks:
+    def test_stage_costs_match_direct_compute(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("BERT-L")
+        got = ctx.evaluator.stage_costs(spec, 8192, 4)
+        expected = MoEStageCosts.compute(
+            spec, 8192, 4, ctx.device, ctx.comm_model()
+        )
+        assert got == expected
+        assert ctx.evaluator.stage_costs(spec, 8192, 4) is got  # memo hit
+
+    def test_makespan_matches_fresh_op_dag_run(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("GPT-XL")
+        for strategy in ("none", "S1", "S4"):
+            warm = ctx.evaluator.makespan(spec, 8192, 4, strategy)
+            costs = MoEStageCosts.compute(spec, 8192, 4, ctx.device, ctx.comm_model())
+            cold = ctx.engine.run(build_timeline(costs, 4, strategy)).makespan
+            assert warm == cold, strategy
+
+    def test_simulate_trace_matches_fresh_op_dag_run(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("GPT-S")
+        sim = ctx.evaluator.simulate(spec, 4096, 2, "S3")
+        costs = MoEStageCosts.compute(spec, 4096, 2, ctx.device, ctx.comm_model())
+        cold = ctx.engine.run(build_timeline(costs, 2, "S3"))
+        assert sim.makespan == cold.makespan
+        assert sim.records == cold.records
+
+    def test_footprint_bytes_match_direct_model(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("GPT-XL")
+        assert ctx.evaluator.footprint_bytes(
+            spec, 8192, pipelined=True, reuse_n=4
+        ) == ctx.footprint(spec).total_bytes(8192, pipelined=True, reuse_n=4)
+
+    def test_selector_is_shared_and_equivalent(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("GPT-XL")
+        first = ctx.evaluator.selector(spec)
+        assert ctx.evaluator.selector(spec) is first
+        cold = MPipeMoEModel(
+            make_context(enabled=False), fixed_n=4, sim_selection=False
+        )
+        warm_pick = first.select(8192, 4).strategy.name
+        assert warm_pick == cold.choose_strategy(spec, 8192, 4)
+
+    def test_clear_resets_memo(self):
+        ctx = make_context(enabled=True)
+        spec = get_preset("GPT-XL")
+        ctx.evaluator.makespan(spec, 8192, 4, "none")
+        misses = ctx.evaluator.stats.makespan_misses
+        ctx.evaluator.clear()
+        value = ctx.evaluator.makespan(spec, 8192, 4, "none")
+        assert ctx.evaluator.stats.makespan_misses == misses + 1
+        # Recomputation after clear reproduces the same float.
+        ctx.evaluator.clear()
+        assert ctx.evaluator.makespan(spec, 8192, 4, "none") == value
+
+
+class TestNoFitPath:
+    """A device too small for any reuse strategy must raise MemoryError
+    identically on cold, warm, and repeated-warm evaluation."""
+
+    def _tiny_device_context(self, enabled: bool) -> SystemContext:
+        ctx = make_context(enabled=False)  # probe capacity with defaults
+        needed = ctx.footprint(MOE_GPT3_XL).total_bytes(
+            4096, pipelined=True, reuse_n=4
+        )
+        tiny = dataclasses.replace(ctx.device, memory_bytes=needed // 2)
+        return make_context(enabled=enabled, device=tiny)
+
+    def test_memory_error_identical_cold_and_warm(self):
+        for enabled in (False, True):
+            ctx = self._tiny_device_context(enabled)
+            model = MPipeMoEModel(ctx, fixed_n=4)
+            with pytest.raises(MemoryError, match="no reuse strategy fits"):
+                model.evaluate(MOE_GPT3_XL, 4096)
+            # The memoized no-fit answer raises again, not a stale pass.
+            with pytest.raises(MemoryError, match="no reuse strategy fits"):
+                model.evaluate(MOE_GPT3_XL, 4096)
+
+    def test_fits_memoizes_the_negative_answer(self):
+        ctx = self._tiny_device_context(enabled=True)
+        assert not ctx.evaluator.fits(MOE_GPT3_XL, 4096, 4)
+        misses = ctx.evaluator.stats.footprint_misses
+        assert not ctx.evaluator.fits(MOE_GPT3_XL, 4096, 4)
+        assert ctx.evaluator.stats.footprint_misses == misses

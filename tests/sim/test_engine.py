@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hardware.interference import InterferenceModel, StreamKind
-from repro.sim.engine import Op, SimEngine, SimResult
+from repro.sim.engine import Op, SimEngine, SimResult, compile_dag
 
 COMP, COMM, MEM = StreamKind.COMP, StreamKind.COMM, StreamKind.MEM
 
@@ -149,6 +149,93 @@ class TestValidation:
     def test_negative_work_rejected(self):
         with pytest.raises(ValueError):
             Op("a", 0, COMP, -1.0)
+
+
+def _pipeline_dag():
+    """A small multi-lane DAG with deps, a zero-work barrier, and FIFO heads."""
+    a = Op("a", 0, COMP, 1.0)
+    b = Op("b", 0, COMM, 0.5, deps=(a,))
+    x = Op("x", 0, COMP, 0.0, deps=(b,))
+    c = Op("c", 1, COMP, 2.0, deps=(x,))
+    d = Op("d", 1, MEM, 0.25, deps=(c,))
+    e = Op("e", 0, COMP, 0.75)
+    return [a, b, x, c, d, e]
+
+
+class TestMakespanMode:
+    def test_no_records_same_makespan(self):
+        ops = _pipeline_dag()
+        full = SimEngine().run(_pipeline_dag())
+        bare = SimEngine().run(ops, record=False)
+        assert bare.makespan == full.makespan
+        assert bare.records == []
+
+    def test_makespan_convenience(self):
+        assert SimEngine().makespan(_pipeline_dag()) == SimEngine().run(
+            _pipeline_dag()
+        ).makespan
+
+    def test_reference_makespan_parity(self):
+        from repro.sim.engine import ReferenceSimEngine
+
+        got = ReferenceSimEngine().makespan(_pipeline_dag())
+        assert got == pytest.approx(SimEngine().makespan(_pipeline_dag()), rel=1e-9)
+
+    def test_interference_still_applied(self):
+        a = Op("comm", 0, COMM, 0.72)
+        b = Op("comp", 0, COMP, 10.0)
+        assert SimEngine().makespan([a, b]) == pytest.approx(
+            SimEngine().run([Op("comm", 0, COMM, 0.72), Op("comp", 0, COMP, 10.0)])
+            .makespan
+        )
+
+
+class TestCompiledDag:
+    def test_matches_op_run_exactly(self):
+        ops = _pipeline_dag()
+        dag = compile_dag(ops)
+        assert SimEngine().compiled_makespan(dag) == SimEngine().run(ops).makespan
+
+    def test_works_override_reprices_same_topology(self):
+        ops = [Op("a", 0, COMP, 1.0), Op("b", 0, COMP, 1.0)]
+        dag = compile_dag(ops)
+        engine = SimEngine(NO_INTERFERENCE)
+        assert engine.compiled_makespan(dag) == pytest.approx(2.0)
+        assert engine.compiled_makespan(dag, [3.0, 4.0]) == pytest.approx(7.0)
+        # The original default vector is untouched by overrides.
+        assert engine.compiled_makespan(dag) == pytest.approx(2.0)
+
+    def test_zero_work_override_acts_as_barrier(self):
+        a = Op("a", 0, COMP, 1.0)
+        b = Op("b", 0, COMM, 1.0, deps=(a,))
+        dag = compile_dag([a, b])
+        engine = SimEngine(NO_INTERFERENCE)
+        assert engine.compiled_makespan(dag, [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_recorded_compiled_trace_matches_op_run(self):
+        ops = _pipeline_dag()
+        dag = compile_dag(ops)
+        via_ops = SimEngine().run(ops)
+        via_dag = SimEngine().run_compiled(dag, record=True)
+        assert via_dag.makespan == via_ops.makespan
+        assert via_dag.records == via_ops.records
+
+    def test_work_count_mismatch_rejected(self):
+        dag = compile_dag([Op("a", 0, COMP, 1.0)])
+        with pytest.raises(ValueError, match="expected 1 works"):
+            SimEngine().compiled_makespan(dag, [1.0, 2.0])
+
+    def test_negative_work_rejected(self):
+        dag = compile_dag([Op("a", 0, COMP, 1.0)])
+        with pytest.raises(ValueError, match="non-negative"):
+            SimEngine().compiled_makespan(dag, [-1.0])
+
+    def test_invalid_dag_rejected_at_compile(self):
+        a = Op("a", 0, COMP, 1.0)
+        b = Op("b", 0, COMM, 1.0, deps=(a,))
+        a.deps = (b,)
+        with pytest.raises(ValueError, match="cycle"):
+            compile_dag([a, b])
 
 
 class TestResultQueries:

@@ -14,9 +14,10 @@ differs legitimately between the two engines; it is pinned to 1e-12.
 import pytest
 
 from repro.hardware.interference import InterferenceModel
-from repro.sim.engine import ReferenceSimEngine, SimEngine
+from repro.pipeline.schedule import build_timeline, compile_timeline
+from repro.sim.engine import ReferenceSimEngine, SimEngine, compile_dag
 
-from .golden_dags import exact_dag, interference_timeline
+from .golden_dags import GOLDEN_COSTS, exact_dag, interference_timeline
 
 NO_INTERFERENCE = InterferenceModel(
     table={(v, i): 1.0 for v in ("comp", "comm", "mem")
@@ -97,6 +98,65 @@ class TestGoldenTraces:
     def test_interference_timeline_trace(self, engine_cls):
         res = engine_cls().run(interference_timeline())
         assert res.makespan == pytest.approx(INTERFERENCE_MAKESPAN, rel=1e-12)
+        got = trace_of(res)
+        assert set(got) == set(INTERFERENCE_GOLDEN)
+        for key, (start, end) in INTERFERENCE_GOLDEN.items():
+            assert got[key][0] == pytest.approx(start, rel=1e-12, abs=1e-12), key
+            assert got[key][1] == pytest.approx(end, rel=1e-12, abs=1e-12), key
+
+
+class TestEngineModesAgree:
+    """Every engine mode — recorded, records-free, compiled, reference —
+    must realize the same (golden) makespan on the pinned DAGs."""
+
+    def _makespans(self, build, interference=None):
+        fast = SimEngine(interference)
+        return {
+            "recorded": fast.run(build()).makespan,
+            "records_free": fast.run(build(), record=False).makespan,
+            "makespan()": fast.makespan(build()),
+            "compiled": fast.compiled_makespan(compile_dag(build())),
+            "compiled_recorded": fast.run_compiled(
+                compile_dag(build()), record=True
+            ).makespan,
+            "reference": ReferenceSimEngine(interference).run(build()).makespan,
+        }
+
+    def test_exact_dag_all_modes(self):
+        got = self._makespans(exact_dag, NO_INTERFERENCE)
+        assert got == {mode: EXACT_MAKESPAN for mode in got}
+
+    def test_interference_timeline_all_modes(self):
+        got = self._makespans(interference_timeline)
+        # The four fast-engine modes agree bit-exactly with each other.
+        fast_modes = {v for k, v in got.items() if k != "reference"}
+        assert len(fast_modes) == 1
+        for mode, value in got.items():
+            assert value == pytest.approx(INTERFERENCE_MAKESPAN, rel=1e-12), mode
+
+    def test_compiled_timeline_equals_op_dag_on_golden_costs(self):
+        """compile_timeline prices exactly what build_timeline + run price,
+        for every (n, strategy, ablation-flag) topology."""
+        engine = SimEngine()
+        for n in (1, 2, 4):
+            for strategy in ("none", "S1", "S2", "S3", "S4"):
+                for decomposed in (False, True):
+                    for sequential in (False, True):
+                        ops = build_timeline(
+                            GOLDEN_COSTS, n, strategy,
+                            decomposed_comm=decomposed, sequential=sequential,
+                        )
+                        compiled = compile_timeline(
+                            n, strategy,
+                            decomposed_comm=decomposed, sequential=sequential,
+                        )
+                        assert compiled.makespan(GOLDEN_COSTS, engine) == engine.run(
+                            ops
+                        ).makespan, (n, strategy, decomposed, sequential)
+
+    def test_compiled_recorded_trace_is_the_golden_trace(self):
+        dag = compile_dag(interference_timeline())
+        res = SimEngine().run_compiled(dag, record=True)
         got = trace_of(res)
         assert set(got) == set(INTERFERENCE_GOLDEN)
         for key, (start, end) in INTERFERENCE_GOLDEN.items():
