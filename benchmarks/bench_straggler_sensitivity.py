@@ -1,0 +1,236 @@
+"""Straggler sensitivity study: how adaptive choices shift under skew.
+
+Two measurements:
+
+1. **Severity sweep** — one GPU of the 64-GPU GPT-XL cluster slows from
+   1.0x to 0.4x compute (the ``single-slow-gpu`` scenario, a thermally
+   throttled device).  For each severity and batch size the adaptive
+   MPipeMoE stack re-runs Algorithm 1 and both strategy selectors on
+   the heterogeneous context, and the table shows where the selected
+   granularity n and the reuse strategy move.  Gated: at severity 0.5
+   and B=24576 the selected n must differ from the healthy cluster —
+   the straggler makes compute the bottleneck, so coarser pipelining
+   (fewer kernel launches, better GEMM saturation) wins.  Rows for the
+   ``degraded-link`` and ``slow-node`` scenarios at matched severities
+   show the other two skew regimes (comm-bound and comp+mem-bound).
+
+2. **Hetero grid sweep** — a :class:`ScenarioGrid` crossing straggler
+   severity with the new expert-count (E) and capacity-factor axes,
+   fanned out on the thread backend so all points share one in-process
+   evaluator memo; the reported cache stats come from the per-scenario
+   deltas the runner now persists.
+
+Results append to ``benchmarks/results/BENCH_straggler.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_straggler_sensitivity.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.config import get_preset
+from repro.hardware.hetero import StragglerModel
+from repro.sweep import ScenarioGrid, SweepRunner, sweep_table
+from repro.systems import MPipeMoEModel
+from repro.systems.base import SystemContext
+from repro.utils import Table
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_straggler.json"
+
+WORLD = 64
+SPEC = "GPT-XL"
+#: The acceptance point: a single 0.5x-compute straggler must shift the
+#: selected granularity at this batch (healthy n=8 -> straggler n=4).
+GATE_BATCH = 24576
+GATE_SEVERITY = 0.5
+
+SEVERITIES = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4)
+BATCHES = (8192, 16384, 24576, 32768)
+SMOKE_SEVERITIES = (1.0, GATE_SEVERITY)
+SMOKE_BATCHES = (GATE_BATCH,)
+
+
+def evaluate_point(kind: str, severity: float, batch: int) -> dict:
+    """Adaptive MPipeMoE choices on one (straggler, severity, batch) point."""
+    hetero = StragglerModel(kind, severity=severity).build()
+    ctx = SystemContext(world_size=WORLD, hetero=hetero)
+    spec = get_preset(SPEC)
+    report = MPipeMoEModel(ctx).evaluate(spec, batch)
+    eq10 = ctx.evaluator.selector(spec).select(batch, report.num_partitions)
+    return {
+        "straggler": kind,
+        "severity": severity,
+        "batch": batch,
+        "n": report.num_partitions,
+        "strategy": report.strategy,
+        "eq10_strategy": eq10.strategy.name,
+        "iteration_time": report.iteration_time,
+    }
+
+
+def severity_sweep(args) -> tuple[dict, bool]:
+    severities = SMOKE_SEVERITIES if args.smoke else SEVERITIES
+    batches = SMOKE_BATCHES if args.smoke else BATCHES
+
+    rows = [
+        evaluate_point("single-slow-gpu", sev, batch)
+        for sev in severities
+        for batch in batches
+    ]
+    if not args.smoke:
+        # The other two skew regimes at matched severities, for contrast.
+        for kind in ("degraded-link", "slow-node"):
+            rows += [
+                evaluate_point(kind, sev, GATE_BATCH) for sev in (0.7, 0.5, 0.4)
+            ]
+
+    baseline = {
+        r["batch"]: r["iteration_time"]
+        for r in rows
+        if r["straggler"] == "single-slow-gpu" and r["severity"] == 1.0
+    }
+    table = Table(
+        ["straggler", "severity", "B", "n", "strategy", "Eq.10", "time (ms)",
+         "slowdown"],
+        title=f"Adaptive choices under skew, {SPEC} x {WORLD} GPUs",
+    )
+    for r in rows:
+        base = baseline.get(r["batch"])
+        r["slowdown_vs_healthy"] = (
+            r["iteration_time"] / base if base else None
+        )
+        table.add_row([
+            r["straggler"], r["severity"], r["batch"], r["n"], r["strategy"],
+            r["eq10_strategy"], r["iteration_time"] * 1e3,
+            r["slowdown_vs_healthy"] or float("nan"),
+        ])
+    print(table)
+
+    def pick(sev):
+        return next(
+            r for r in rows
+            if r["straggler"] == "single-slow-gpu"
+            and r["severity"] == sev and r["batch"] == GATE_BATCH
+        )
+
+    healthy, degraded = pick(1.0), pick(GATE_SEVERITY)
+    ok = True
+    if degraded["n"] == healthy["n"]:
+        print(
+            f"FAIL: a {GATE_SEVERITY}x-compute straggler left the selected "
+            f"granularity at n={healthy['n']} (B={GATE_BATCH})", file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"granularity shift at B={GATE_BATCH}: n={healthy['n']} (healthy) "
+            f"-> n={degraded['n']} ({GATE_SEVERITY}x straggler)"
+        )
+    payload = {
+        "spec": SPEC,
+        "world_size": WORLD,
+        "gate": {
+            "batch": GATE_BATCH,
+            "severity": GATE_SEVERITY,
+            "healthy_n": healthy["n"],
+            "straggler_n": degraded["n"],
+            "shifted": degraded["n"] != healthy["n"],
+        },
+        "rows": rows,
+    }
+    return payload, ok
+
+
+def hetero_grid_sweep(args) -> dict:
+    """Thread-backend sweep over the straggler / E / capacity-factor axes."""
+    if args.smoke:
+        grid = ScenarioGrid(
+            systems=("mpipemoe",), specs=(SPEC,), world_sizes=(16,),
+            batches=(8192,), stragglers=("single-slow-gpu",),
+            severities=(1.0, 0.5), num_experts=(64,), capacity_factors=(None,),
+        )
+    else:
+        grid = ScenarioGrid(
+            systems=("mpipemoe",), specs=(SPEC,), world_sizes=(WORLD,),
+            batches=(16384,), stragglers=("single-slow-gpu", "degraded-link"),
+            severities=(1.0, 0.7, 0.4), num_experts=(64, 128),
+            capacity_factors=(1.0, 1.25),
+        )
+    runner = SweepRunner(workers=args.workers, backend="thread")
+    t0 = time.perf_counter()
+    results = runner.run(grid)
+    wall = time.perf_counter() - t0
+    print(sweep_table(
+        results,
+        ["label", "n", "strategy", ("time (s)", "iteration_time")],
+        title=f"Hetero grid, {len(results)} scenarios, thread backend",
+    ))
+    hits = sum(r.cache_stats["hits"] for r in results if r.cache_stats)
+    misses = sum(r.cache_stats["misses"] for r in results if r.cache_stats)
+    print(f"grid wall: {wall:.2f}s; shared-evaluator hits/misses: "
+          f"{hits}/{misses}")
+    return {
+        "scenarios": len(results),
+        "wall_s": wall,
+        "evaluator_hits": hits,
+        "evaluator_misses": misses,
+        "points": [
+            {
+                "label": r.scenario.label(),
+                "n": r["n"],
+                "strategy": r["strategy"],
+                "iteration_time": r["iteration_time"],
+            }
+            for r in results
+        ],
+    }
+
+
+def emit_json(mode: str, severity_payload: dict, grid_payload: dict) -> None:
+    """Append this run's record to the trajectory file (a JSON array)."""
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    record = {
+        "benchmark": "bench_straggler_sensitivity",
+        "mode": mode,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "severity_sweep": severity_payload,
+        "hetero_grid": grid_payload,
+    }
+    history: list = []
+    if RESULTS_JSON.is_file():
+        try:
+            previous = json.loads(RESULTS_JSON.read_text())
+            if isinstance(previous, list):
+                history = previous
+        except (OSError, json.JSONDecodeError):
+            pass  # unreadable trajectory: restart it rather than crash
+    history.append(record)
+    RESULTS_JSON.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    print(f"appended run {len(history)} to {RESULTS_JSON}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workloads for CI (gate still checked)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread-pool width for the grid sweep")
+    args = parser.parse_args(argv)
+
+    severity_payload, ok = severity_sweep(args)
+    grid_payload = hetero_grid_sweep(args)
+    emit_json("smoke" if args.smoke else "full", severity_payload, grid_payload)
+
+    if not ok:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

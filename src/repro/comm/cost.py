@@ -32,15 +32,34 @@ STRAGGLER_FACTOR = 1.5
 
 @dataclass(frozen=True)
 class NcclCostModel:
-    """Collective timing against a :class:`ClusterTopology`."""
+    """Collective timing against a :class:`ClusterTopology`.
+
+    ``bandwidth_scale`` is a uniform derate on every effective link
+    rate (1.0 = nominal) — the what-if knob for collective-level
+    degradation that is not tied to one physical link.  Structural
+    per-link skew (a degraded NVLink or IB uplink) belongs on the
+    topology itself via
+    :class:`~repro.hardware.topology.LinkOverrides`, which these
+    queries follow automatically.
+    """
 
     topology: ClusterTopology
     world_size: int | None = None  # defaults to the full cluster
+    bandwidth_scale: float = 1.0
 
     def __post_init__(self) -> None:
         w = self.effective_world
         if w < 1:
             raise ValueError("world_size must be >= 1")
+        if self.bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+
+    def _collective_bandwidth(self, w: int) -> float:
+        """Effective per-GPU collective rate, overrides and derate applied."""
+        bw = self.topology.alltoall_bandwidth(w)
+        if self.bandwidth_scale != 1.0:
+            bw *= self.bandwidth_scale
+        return bw
 
     @property
     def effective_world(self) -> int:
@@ -59,7 +78,7 @@ class NcclCostModel:
         if w == 1:
             return 0.0
         cross = bytes_per_rank * (w - 1) / w
-        bw = self.topology.alltoall_bandwidth(w)
+        bw = self._collective_bandwidth(w)
         return NCCL_LATENCY + cross / bw
 
     def allreduce_time(self, nbytes: float) -> float:
@@ -69,7 +88,7 @@ class NcclCostModel:
         w = self.effective_world
         if w == 1:
             return 0.0
-        bw = self.topology.alltoall_bandwidth(w)
+        bw = self._collective_bandwidth(w)
         return NCCL_LATENCY + 2 * (w - 1) / w * nbytes / bw
 
     def allgather_time(self, nbytes_per_rank: float) -> float:
@@ -77,7 +96,7 @@ class NcclCostModel:
         w = self.effective_world
         if w == 1:
             return 0.0
-        bw = self.topology.alltoall_bandwidth(w)
+        bw = self._collective_bandwidth(w)
         return NCCL_LATENCY + (w - 1) * nbytes_per_rank / bw
 
     # -- point-to-point decomposition (FasterMoE fashion) -------------------------
@@ -86,6 +105,8 @@ class NcclCostModel:
         if src == dst:
             return 0.0
         bw = self.topology.p2p_bandwidth(src, dst)
+        if self.bandwidth_scale != 1.0:
+            bw *= self.bandwidth_scale
         return P2P_LATENCY + nbytes / bw
 
     def decomposed_alltoall_time(self, bytes_per_rank: float) -> float:
@@ -106,5 +127,5 @@ class NcclCostModel:
         if w == 1:
             return 0.0
         cross = bytes_per_rank * (w - 1) / w
-        bw = self.topology.alltoall_bandwidth(w) / STRAGGLER_FACTOR
+        bw = self._collective_bandwidth(w) / STRAGGLER_FACTOR
         return (w - 1) * P2P_LATENCY + cross / bw

@@ -7,14 +7,25 @@
 * :mod:`repro.hardware.interference` — the Fig. 3 stream-interference
   model: slowdown factors mu (comm), sigma (comp), eta (memcpy) as a
   function of which other stream types are concurrently active.
+* :mod:`repro.hardware.hetero` — heterogeneous-cluster capability maps:
+  per-rank device specs and rate multipliers, named straggler
+  scenarios, and the per-device rate table the engine consumes.
 """
 
 from repro.hardware.device import DeviceSpec, A100_SXM_40GB, V100_SXM_32GB
-from repro.hardware.topology import ClusterTopology, LinkKind
+from repro.hardware.topology import ClusterTopology, LinkKind, LinkOverrides
 from repro.hardware.interference import (
     InterferenceModel,
     StreamKind,
     PAPER_INTERFERENCE,
+)
+from repro.hardware.hetero import (
+    DeviceRates,
+    DeviceRateTable,
+    HeteroClusterSpec,
+    STRAGGLER_KINDS,
+    StragglerModel,
+    UNIT_RATES,
 )
 
 __all__ = [
@@ -23,7 +34,14 @@ __all__ = [
     "V100_SXM_32GB",
     "ClusterTopology",
     "LinkKind",
+    "LinkOverrides",
     "InterferenceModel",
     "StreamKind",
     "PAPER_INTERFERENCE",
+    "DeviceRates",
+    "DeviceRateTable",
+    "HeteroClusterSpec",
+    "STRAGGLER_KINDS",
+    "StragglerModel",
+    "UNIT_RATES",
 ]

@@ -26,6 +26,40 @@ class LinkKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class LinkOverrides:
+    """Per-link bandwidth scale factors (1.0 = nominal).
+
+    ``gpu_scale`` scales the NVLink edge of individual GPUs (by global
+    rank); ``node_scale`` scales a node's IB uplink.  The heterogeneous
+    layer derives these from per-device comm multipliers
+    (:meth:`repro.hardware.hetero.HeteroClusterSpec.link_overrides`),
+    which is how "the all-to-all bottleneck follows the degraded
+    device": every collective is priced at the slowest participating
+    link.
+    """
+
+    gpu_scale: tuple[tuple[int, float], ...] = ()
+    node_scale: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for _, scale in (*self.gpu_scale, *self.node_scale):
+            if scale <= 0:
+                raise ValueError("link bandwidth scales must be positive")
+        object.__setattr__(self, "_gpu", dict(self.gpu_scale))
+        object.__setattr__(self, "_node", dict(self.node_scale))
+        if len(self._gpu) != len(self.gpu_scale) or len(self._node) != len(
+            self.node_scale
+        ):
+            raise ValueError("duplicate link override entry")
+
+    def gpu(self, rank: int) -> float:
+        return self._gpu.get(rank, 1.0)
+
+    def node(self, node: int) -> float:
+        return self._node.get(node, 1.0)
+
+
+@dataclass(frozen=True)
 class GpuId:
     """Stable identity of a GPU in the cluster: (node, local index)."""
 
@@ -37,33 +71,48 @@ class GpuId:
 
 
 class ClusterTopology:
-    """Hierarchical DGX-style topology derived from a :class:`ClusterSpec`."""
+    """Hierarchical DGX-style topology derived from a :class:`ClusterSpec`.
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    ``overrides`` scales individual link bandwidths — a degraded NVLink
+    on one GPU or an oversubscribed IB uplink on one node — and every
+    bandwidth query (path, p2p, All-to-All) follows the scaled graph.
+    ``overrides=None`` builds the nominal topology through the exact
+    seed code path.
+    """
+
+    def __init__(self, spec: ClusterSpec, overrides: LinkOverrides | None = None) -> None:
         self.spec = spec
+        self.overrides = overrides
         self.graph = nx.Graph()
         self._build()
 
     def _build(self) -> None:
         g = self.graph
+        ov = self.overrides
         g.add_node("ib-fabric", kind="switch")
         for node in range(self.spec.num_nodes):
             switch = f"nvswitch:{node}"
+            ib_bw = self.spec.node_ib_gbitps * GBITPS
+            if ov is not None:
+                ib_bw *= ov.node(node)
             g.add_node(switch, kind="switch")
             g.add_edge(
                 switch,
                 "ib-fabric",
                 kind=LinkKind.INFINIBAND,
-                bandwidth=self.spec.node_ib_gbitps * GBITPS,
+                bandwidth=ib_bw,
             )
             for local in range(self.spec.gpus_per_node):
                 gpu = self.gpu_name(node, local)
+                nvlink_bw = self.spec.nvlink_gbps * GBPS
+                if ov is not None:
+                    nvlink_bw *= ov.gpu(node * self.spec.gpus_per_node + local)
                 g.add_node(gpu, kind="gpu", node=node, local=local)
                 g.add_edge(
                     gpu,
                     switch,
                     kind=LinkKind.NVLINK,
-                    bandwidth=self.spec.nvlink_gbps * GBPS,
+                    bandwidth=nvlink_bw,
                 )
 
     @staticmethod
@@ -99,7 +148,13 @@ class ClusterTopology:
             raise ValueError("p2p bandwidth undefined for a rank with itself")
         bw = self.path_bandwidth(rank_a, rank_b)
         if not self.same_node(rank_a, rank_b):
-            bw = min(bw, self.spec.ib_gbitps * GBITPS)
+            nic = self.spec.ib_gbitps * GBITPS
+            if self.overrides is not None:
+                nic *= min(
+                    self.overrides.node(self.rank_to_gpu(rank_a).node),
+                    self.overrides.node(self.rank_to_gpu(rank_b).node),
+                )
+            bw = min(bw, nic)
         return bw
 
     def alltoall_bandwidth(self, world_size: int | None = None) -> float:
@@ -116,11 +171,19 @@ class ClusterTopology:
         if not 1 <= n <= spec.world_size:
             raise ValueError(f"world_size must be in [1, {spec.world_size}]")
         g = min(spec.gpus_per_node, n)
+        ov = self.overrides
         nvlink = spec.nvlink_gbps * GBPS * spec.nccl_efficiency_intra
+        if ov is not None:
+            # The symmetric collective is gated by its slowest member's
+            # injection link — the straggler drags every participant.
+            nvlink *= min(ov.gpu(rank) for rank in range(n))
         if n <= spec.gpus_per_node:
             return nvlink
         cross_fraction = (n - g) / n
         ib_per_gpu = (spec.node_ib_gbitps * GBITPS) / g
+        if ov is not None:
+            nodes = -(-n // spec.gpus_per_node)  # ceil: participating nodes
+            ib_per_gpu *= min(ov.node(node) for node in range(nodes))
         ib_limited = ib_per_gpu / cross_fraction * spec.nccl_efficiency_inter
         return min(nvlink, ib_limited)
 

@@ -60,6 +60,24 @@ class HardwareRates:
             w_mem=device.pcie_bandwidth,
         )
 
+    def scaled(
+        self, comp: float = 1.0, comm: float = 1.0, mem: float = 1.0
+    ) -> "HardwareRates":
+        """Rates with per-kind multipliers applied (heterogeneous skew).
+
+        The hetero layer rescales W_comp / W_mem by the cluster's
+        bottleneck-device multipliers before running the Eq. 10
+        selector; W_comm usually stays at 1.0 here because the degraded
+        link already lowered the topology's All-to-All bandwidth.
+        """
+        if comp == comm == mem == 1.0:
+            return self
+        return HardwareRates(
+            w_comp=self.w_comp * comp,
+            w_comm=self.w_comm * comm,
+            w_mem=self.w_mem * mem,
+        )
+
 
 @dataclass(frozen=True)
 class StageCost:

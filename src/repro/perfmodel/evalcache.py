@@ -21,6 +21,7 @@ the cache-correctness tests compare it to.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -52,28 +53,96 @@ class EvalStats:
         return dict(vars(self))
 
 
+class _LruMemo:
+    """A memo dict with an optional entry cap and LRU eviction.
+
+    Unbounded (``max_entries=None``) it is a plain insertion-ordered
+    dict — zero overhead over the previous implementation.  Bounded, a
+    hit refreshes recency and an insert past the cap evicts the least
+    recently used entry, so very large sweep grids cannot grow the
+    evaluator's memory without limit.
+    """
+
+    __slots__ = ("max_entries", "evictions", "_data")
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None and self.max_entries is not None:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                pass  # concurrently evicted (thread backend); value stands
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        data = self._data
+        data[key] = value
+        if self.max_entries is not None:
+            try:
+                data.move_to_end(key)
+            except KeyError:
+                data[key] = value  # lost a concurrent-eviction race: re-add
+            while len(data) > self.max_entries:
+                try:
+                    data.popitem(last=False)
+                except KeyError:
+                    break  # another thread already drained the overflow
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
 @dataclass
 class Evaluator:
     """Memoized evaluation core shared by systems, selectors, and sweeps.
 
     Keys include everything the cached value depends on —
-    ``(spec, batch, n, strategy, decomposed, sequential, gemm_derate)``
-    — while cluster, device, and interference are fixed per evaluator
-    because they are fixed per :class:`SystemContext`.
+    ``(hetero-spec hash, spec, batch, n, strategy, decomposed,
+    sequential, gemm_derate)`` — while cluster, device, and
+    interference are fixed per evaluator because they are fixed per
+    :class:`SystemContext`.  The hetero hash makes keys globally
+    unambiguous even if memo contents are ever compared or merged
+    across contexts (and it is what the sweep's on-disk scenario cache
+    inherits through the scenario fields).
+
+    ``max_entries`` bounds each memo table with LRU eviction;
+    ``None`` (the default) keeps the original unbounded behaviour.
+
+    Heterogeneous contexts evaluate each timeline once per distinct
+    device profile (the straggler and its healthy peers) and return the
+    worst makespan — the loss barrier synchronizes every device, so the
+    slowest one gates the iteration.  Homogeneous contexts have no
+    profiles and run the single-engine fast path unchanged.
     """
 
     context: "SystemContext"
     enabled: bool = True
+    max_entries: int | None = None
     stats: EvalStats = field(default_factory=EvalStats)
 
     def __post_init__(self) -> None:
         self._comm = None
-        self._costs: dict[tuple, MoEStageCosts] = {}
-        self._makespans: dict[tuple, float] = {}
-        self._sims: dict[tuple, SimResult] = {}
+        self._costs = _LruMemo(self.max_entries)
+        self._makespans = _LruMemo(self.max_entries)
+        self._sims = _LruMemo(self.max_entries)
         self._footprints: dict[MoELayerSpec, FootprintModel] = {}
-        self._footprint_bytes: dict[tuple, int] = {}
+        self._footprint_bytes = _LruMemo(self.max_entries)
         self._selectors: dict[MoELayerSpec, StrategySelector] = {}
+        self._hkey = self.context.hetero_key
 
     # -- shared building blocks ------------------------------------------------
     def comm_model(self):
@@ -103,7 +172,7 @@ class Evaluator:
                 spec, batch, n, self.context.device, self.comm_model(),
                 gemm_derate=gemm_derate,
             )
-        key = (spec, batch, n, gemm_derate)
+        key = (self._hkey, spec, batch, n, gemm_derate)
         costs = self._costs.get(key)
         if costs is None:
             self.stats.cost_misses += 1
@@ -138,7 +207,8 @@ class Evaluator:
             return self._cold_sim(
                 spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
             ).makespan
-        key = (spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate)
+        key = (self._hkey, spec, batch, n, strategy, decomposed_comm, sequential,
+               gemm_derate)
         cached = self._makespans.get(key)
         if cached is not None:
             self.stats.makespan_hits += 1
@@ -148,7 +218,7 @@ class Evaluator:
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
-        value = compiled.makespan(costs, self.context.engine)
+        value = max(self._profile_makespans(compiled, costs))
         self._makespans[key] = value
         return value
 
@@ -168,7 +238,8 @@ class Evaluator:
             return self._cold_sim(
                 spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
             )
-        key = (spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate)
+        key = (self._hkey, spec, batch, n, strategy, decomposed_comm, sequential,
+               gemm_derate)
         sim = self._sims.get(key)
         if sim is not None:
             self.stats.sim_hits += 1
@@ -178,14 +249,45 @@ class Evaluator:
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
-        sim = self.context.engine.run_compiled(
-            compiled.dag, compiled.works(costs), record=True
-        )
+        profiles = self.context.sim_profiles
+        works = compiled.works(costs)
+        if not profiles:
+            engine = self.context.engine
+        else:
+            # One pricing pass picks the gating profile; ties break on
+            # profile order (first wins), matching max() in makespan().
+            spans = [
+                self.context.engine_for(p).compiled_makespan(compiled.dag, works)
+                for p in profiles
+            ]
+            engine = self.context.engine_for(profiles[spans.index(max(spans))])
+        sim = engine.run_compiled(compiled.dag, works, record=True)
         self._sims[key] = sim
         return sim
 
+    def _profile_makespans(self, compiled, costs) -> list[float]:
+        """Makespan per distinct device profile (one entry when homogeneous).
+
+        The worst entry is the iteration time: the loss barrier and the
+        collectives synchronize all devices every iteration, so the
+        slowest profile gates the cluster.
+        """
+        profiles = self.context.sim_profiles
+        works = compiled.works(costs)
+        if not profiles:
+            return [self.context.engine.compiled_makespan(compiled.dag, works)]
+        return [
+            self.context.engine_for(p).compiled_makespan(compiled.dag, works)
+            for p in profiles
+        ]
+
     def _cold_sim(self, spec, batch, n, strategy, decomposed, sequential, derate):
-        """The seed evaluation path, byte for byte: nothing reused."""
+        """The seed evaluation path, byte for byte: nothing reused.
+
+        Heterogeneous contexts run the fresh Op DAG once per device
+        profile and keep the worst run — the uncached mirror of the
+        warm path, so cache-correctness tests hold under skew too.
+        """
         costs = MoEStageCosts.compute(
             spec, batch, n, self.context.device, self.context.comm_model(),
             gemm_derate=derate,
@@ -193,7 +295,12 @@ class Evaluator:
         ops = build_timeline(
             costs, n, strategy, decomposed_comm=decomposed, sequential=sequential
         )
-        return self.context.engine.run(ops)
+        profiles = self.context.sim_profiles
+        if not profiles:
+            return self.context.engine.run(ops)
+        sims = [self.context.engine_for(p).run(ops) for p in profiles]
+        spans = [sim.makespan for sim in sims]
+        return sims[spans.index(max(spans))]
 
     # -- memory ----------------------------------------------------------------
     def footprint_bytes(
@@ -204,7 +311,7 @@ class Evaluator:
             return self.footprint(spec).total_bytes(
                 batch, pipelined=pipelined, reuse_n=reuse_n
             )
-        key = (spec, batch, pipelined, reuse_n)
+        key = (self._hkey, spec, batch, pipelined, reuse_n)
         cached = self._footprint_bytes.get(key)
         if cached is None:
             self.stats.footprint_misses += 1
@@ -222,7 +329,7 @@ class Evaluator:
         The no-fit answer is memoized like any other: a configuration
         that raised :class:`MemoryError` cold raises it warm too.
         """
-        capacity = self.context.device.memory_bytes
+        capacity = self.context.device_memory_bytes
         return self.footprint_bytes(spec, batch, True, reuse_n=n) <= capacity
 
     # -- closed-form selection -------------------------------------------------
@@ -231,14 +338,36 @@ class Evaluator:
         selector = self._selectors.get(spec) if self.enabled else None
         if selector is None:
             rates = HardwareRates.from_cluster(self.context.device, self.comm_model())
+            hetero = self.context.hetero
+            if hetero is not None:
+                # W_comm already rides the link-overridden topology; the
+                # bottleneck device rescales W_comp and W_mem.
+                worst = hetero.bottleneck_rates(self.context.effective_world)
+                rates = rates.scaled(comp=worst.comp, mem=worst.mem)
             selector = StrategySelector(
                 PerfModel(spec, rates),
                 footprint=self.footprint(spec),
-                device_capacity=self.context.device.memory_bytes,
+                device_capacity=self.context.device_memory_bytes,
             )
             if self.enabled:
                 self._selectors[spec] = selector
         return selector
+
+    def cache_info(self) -> dict:
+        """Counters plus live entry counts, JSON-ready.
+
+        The sweep runner snapshots this before/after each scenario and
+        persists the delta next to the scenario's values, making cache
+        efficacy visible per study.
+        """
+        memos = (self._costs, self._makespans, self._sims, self._footprint_bytes)
+        info = self.stats.as_dict()
+        info["entries"] = sum(len(m) for m in memos) + len(self._footprints) + len(
+            self._selectors
+        )
+        info["evictions"] = sum(m.evictions for m in memos)
+        info["max_entries"] = self.max_entries
+        return info
 
     def clear(self) -> None:
         """Drop every memo (stats are kept)."""

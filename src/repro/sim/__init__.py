@@ -6,6 +6,10 @@ expressed in seconds-at-full-speed; while several lanes of one device
 are concurrently busy, each op progresses at the slowed rate given by
 the Fig. 3 :class:`~repro.hardware.interference.InterferenceModel` — a
 fluid (rate-based) simulation integrated between lane-state changes.
+Installing a :class:`~repro.hardware.hetero.DeviceRateTable` further
+scales every rate by the op's device multiplier, which is how
+heterogeneous clusters and straggler devices are simulated; identity
+tables collapse to the homogeneous fast path bit-identically.
 
 The :class:`~repro.sim.memory_allocator.CachingAllocator` mirrors
 PyTorch's caching allocator closely enough to measure peak footprint:

@@ -49,9 +49,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.hardware.hetero import DeviceRateTable
 from repro.hardware.interference import InterferenceModel, PAPER_INTERFERENCE, StreamKind
 
 _EPS = 1e-15
+
+
+def _active_rate_table(device_rates: DeviceRateTable | None) -> DeviceRateTable | None:
+    """Collapse identity tables to ``None`` — the homogeneous fast path.
+
+    A degenerate heterogeneous spec (every multiplier 1.0) must run the
+    exact seed code path, bit for bit; dropping the table here is what
+    guarantees it.
+    """
+    if device_rates is not None and device_rates.is_identity:
+        return None
+    return device_rates
 
 
 @dataclass
@@ -255,11 +268,24 @@ class SimEngine:
     with a per-op token bumped whenever the op's device changes its
     active stream-kind set.  Between events only the lanes unblocked by
     the finished op and the devices whose active set changed are touched.
+
+    ``device_rates`` makes the engine heterogeneous: the effective rate
+    of an op is the interference slowdown of its (kind, active-set)
+    *times* its device's multiplier for that kind, so a DAG spanning
+    devices realizes per-device speeds (straggler studies).  Identity
+    tables are dropped up front — homogeneous runs execute the exact
+    same arithmetic as before, bit for bit.
     """
 
-    def __init__(self, interference: InterferenceModel | None = None) -> None:
+    def __init__(
+        self,
+        interference: InterferenceModel | None = None,
+        device_rates: DeviceRateTable | None = None,
+    ) -> None:
         self.interference = interference or PAPER_INTERFERENCE
+        self.device_rates = _active_rate_table(device_rates)
         self._flat_rates: list[float] | None = None
+        self._dev_flat: dict[int, list[float]] = {}
 
     def makespan(self, ops: Sequence[Op]) -> float:
         """Makespan of the DAG without building any trace records."""
@@ -375,14 +401,18 @@ class SimEngine:
                 return
 
         heap_by_uid: dict[int, Op] = {}
+        device_rates = self.device_rates
 
         def refresh(device: int) -> None:
             """Re-rate the device's running ops after an active-set change."""
             mask = dev_mask.get(device, 0)
+            mult = None if device_rates is None else device_rates.multipliers(device)
             for uid, kidx in dev_running.get(device, ()):
                 new_rate = rate_table.get((kidx, mask))
                 if new_rate is None:
                     new_rate = rate_for(kidx, mask)
+                if mult is not None:
+                    new_rate = new_rate * mult[kidx]
                 old_rate = rate[uid]
                 if new_rate == old_rate:
                     continue  # outstanding heap entry still predicts truth
@@ -449,6 +479,21 @@ class SimEngine:
             self._flat_rates = table
         return self._flat_rates
 
+    def _flat_rates_for(self, device: int) -> list[float]:
+        """Per-device flat table: base slowdowns x the device multipliers.
+
+        Only consulted when a (non-identity) ``device_rates`` table is
+        installed; built lazily per device and cached for the engine's
+        lifetime, like :meth:`_rate_table`.
+        """
+        table = self._dev_flat.get(device)
+        if table is None:
+            base = self._rate_table()
+            mult = self.device_rates.multipliers(device)
+            table = [base[k * 8 + m] * mult[k] for k in range(3) for m in range(8)]
+            self._dev_flat[device] = table
+        return table
+
     def compiled_makespan(
         self, dag: CompiledDag, works: Sequence[float] | None = None
     ) -> float:
@@ -478,6 +523,7 @@ class SimEngine:
         if num and min(works) < 0:
             raise ValueError("op works must be non-negative")
         rates = self._rate_table()
+        device_rates = self.device_rates
         lane_ops, lane_device, lane_kidx = dag.lane_ops, dag.lane_device, dag.lane_kidx
         op_lane, children = dag.op_lane, dag.children
         if record:
@@ -557,8 +603,13 @@ class SimEngine:
             if dirty:
                 for device in dirty:
                     mask = dev_mask.get(device, 0)
+                    rtab = (
+                        rates
+                        if device_rates is None
+                        else self._flat_rates_for(device)
+                    )
                     for i, kidx in dev_running.get(device, ()):
-                        new_rate = rates[kidx * 8 + mask]
+                        new_rate = rtab[kidx * 8 + mask]
                         old_rate = rate[i]
                         if new_rate == old_rate:
                             continue
@@ -612,10 +663,17 @@ class SimEngine:
 class ReferenceSimEngine:
     """The original fluid loop: full-lane rescan and global re-rating at
     every event.  O(lanes + running) per event — kept as the oracle the
-    fast path is proven against and benchmarked over."""
+    fast path is proven against and benchmarked over.  Accepts the same
+    per-device ``device_rates`` table so heterogeneous runs can be
+    cross-checked against it too."""
 
-    def __init__(self, interference: InterferenceModel | None = None) -> None:
+    def __init__(
+        self,
+        interference: InterferenceModel | None = None,
+        device_rates: DeviceRateTable | None = None,
+    ) -> None:
         self.interference = interference or PAPER_INTERFERENCE
+        self.device_rates = _active_rate_table(device_rates)
 
     def makespan(self, ops: Sequence[Op]) -> float:
         """API parity with :meth:`SimEngine.makespan` (full run, no shortcut)."""
@@ -709,7 +767,12 @@ class ReferenceSimEngine:
         active_by_device: dict[int, set[StreamKind]] = {}
         for op in running:
             active_by_device.setdefault(op.device, set()).add(op.stream)
-        return {
+        rates = {
             op: self.interference.slowdown(op.stream, active_by_device[op.device])
             for op in running
         }
+        if self.device_rates is not None:
+            for op in rates:
+                mult = self.device_rates.multipliers(op.device)
+                rates[op] *= mult[_KIND_INDEX[op.stream]]
+        return rates

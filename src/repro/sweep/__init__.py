@@ -22,6 +22,7 @@ from repro.sweep.runner import (
     SweepRunner,
     evaluate_system,
     evaluate_timeline,
+    scenario_hetero,
     shared_context,
 )
 from repro.sweep.analysis import group_by, pareto_front, sweep_table
@@ -35,6 +36,7 @@ __all__ = [
     "SweepRunner",
     "evaluate_system",
     "evaluate_timeline",
+    "scenario_hetero",
     "shared_context",
     "group_by",
     "pareto_front",

@@ -4,13 +4,17 @@ A :class:`Scenario` is one fully-specified operating point: which system
 backend evaluates it, on which layer spec, at which world size / batch /
 granularity / memory-reuse strategy, plus the two timeline ablation
 toggles (point-to-point decomposed All-to-All and fully sequential
-execution).  A :class:`ScenarioGrid` is the cartesian product over those
-axes; grids concatenate with ``+`` so mixed studies (e.g. Fig. 11's
-adaptive *and* pinned-n PipeMoE points) stay declarative.
+execution), the heterogeneous-cluster axes (straggler kind, severity,
+seed), and the layer-shape axes (expert count E, capacity factor).  A
+:class:`ScenarioGrid` is the cartesian product over those axes; grids
+concatenate with ``+`` so mixed studies (e.g. Fig. 11's adaptive *and*
+pinned-n PipeMoE points) stay declarative.
 
 Scenarios are frozen, hashable and JSON-stable: :meth:`Scenario.key`
 digests the field dict, which is what the runner's on-disk cache and the
-worker-process fan-out key on.
+worker-process fan-out key on.  New fields extend the digest, so grids
+from before an axis existed re-evaluate as cache misses — never as
+stale hits.
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ import itertools
 import json
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, Sequence
+
+from repro.hardware.hetero import STRAGGLER_KINDS
 
 SYSTEM_NAMES = ("fastmoe", "fastermoe", "pipemoe", "mpipemoe")
 #: "timeline" bypasses the system models and prices a raw build_timeline
@@ -36,6 +42,15 @@ class Scenario:
     ``n is None`` means adaptive granularity (Algorithm 1) where the
     backend supports it; ``strategy is None`` means the adaptive Eq. 10
     selector (MPipeMoE) or "none" for the strategy-less backends.
+
+    ``straggler is None`` evaluates on the homogeneous cluster exactly
+    as before; a named kind (see
+    :data:`repro.hardware.hetero.STRAGGLER_KINDS`) builds the matching
+    :class:`~repro.hardware.hetero.HeteroClusterSpec` at ``severity``
+    (victim rate multiplier) and ``straggler_seed`` (random jitter).
+    ``num_experts`` overrides the preset's E; ``capacity_factor``
+    scales the dispatched token batch (capacity padding: the tokens a
+    device actually processes are ``ceil(batch * capacity_factor)``).
     """
 
     system: str = "mpipemoe"
@@ -46,6 +61,11 @@ class Scenario:
     strategy: str | None = None
     decomposed_comm: bool = False
     sequential: bool = False
+    straggler: str | None = None
+    severity: float = 1.0
+    straggler_seed: int = 0
+    num_experts: int | None = None
+    capacity_factor: float | None = None
 
     def __post_init__(self) -> None:
         if self.system not in BACKEND_NAMES:
@@ -62,6 +82,18 @@ class Scenario:
             raise ValueError(
                 f"unknown strategy {self.strategy!r}; available: {STRATEGY_NAMES}"
             )
+        if self.straggler is not None and self.straggler not in STRAGGLER_KINDS:
+            raise ValueError(
+                f"unknown straggler {self.straggler!r}; available: {STRAGGLER_KINDS}"
+            )
+        if not 0 < self.severity <= 1:
+            raise ValueError("severity must be in (0, 1]")
+        if self.straggler_seed < 0:
+            raise ValueError("straggler_seed must be >= 0")
+        if self.num_experts is not None and self.num_experts < 1:
+            raise ValueError("num_experts must be >= 1 (or None for the preset's)")
+        if self.capacity_factor is not None and self.capacity_factor <= 0:
+            raise ValueError("capacity_factor must be positive (or None)")
 
     def key(self, salt: str = "") -> str:
         """Stable digest of this scenario (plus an optional salt such as
@@ -82,6 +114,15 @@ class Scenario:
             parts.append("p2p")
         if self.sequential:
             parts.append("seq")
+        if self.straggler is not None and self.straggler != "uniform":
+            tag = f"{self.straggler}@{self.severity:g}x"
+            if self.straggler == "random-jitter":
+                tag += f"#{self.straggler_seed}"
+            parts.append(tag)
+        if self.num_experts is not None:
+            parts.append(f"E={self.num_experts}")
+        if self.capacity_factor is not None:
+            parts.append(f"f={self.capacity_factor:g}")
         return "/".join(parts)
 
 
@@ -89,9 +130,10 @@ class ScenarioGrid:
     """Cartesian product over scenario axes.
 
     Axis order is fixed (system, spec, world_size, batch, n, strategy,
-    decomposed, sequential) so iteration order — and therefore sweep
-    result order — is deterministic.  ``grid_a + grid_b`` concatenates
-    scenario lists for non-rectangular studies.
+    decomposed, sequential, straggler, severity, straggler_seed,
+    num_experts, capacity_factor) so iteration order — and therefore
+    sweep result order — is deterministic.  ``grid_a + grid_b``
+    concatenates scenario lists for non-rectangular studies.
     """
 
     def __init__(
@@ -104,6 +146,11 @@ class ScenarioGrid:
         strategies: Sequence[str | None] = (None,),
         decomposed: Sequence[bool] = (False,),
         sequential: Sequence[bool] = (False,),
+        stragglers: Sequence[str | None] = (None,),
+        severities: Sequence[float] = (1.0,),
+        straggler_seeds: Sequence[int] = (0,),
+        num_experts: Sequence[int | None] = (None,),
+        capacity_factors: Sequence[float | None] = (None,),
     ) -> None:
         self.axes = (
             tuple(systems),
@@ -114,6 +161,11 @@ class ScenarioGrid:
             tuple(strategies),
             tuple(decomposed),
             tuple(sequential),
+            tuple(stragglers),
+            tuple(severities),
+            tuple(straggler_seeds),
+            tuple(num_experts),
+            tuple(capacity_factors),
         )
         if any(not axis for axis in self.axes):
             raise ValueError("every grid axis needs at least one value")
@@ -123,8 +175,11 @@ class ScenarioGrid:
             Scenario(
                 system=sy, spec=sp, world_size=w, batch=b, n=n,
                 strategy=st, decomposed_comm=dc, sequential=sq,
+                straggler=sg, severity=sev, straggler_seed=seed,
+                num_experts=ne, capacity_factor=cf,
             )
-            for sy, sp, w, b, n, st, dc, sq in itertools.product(*self.axes)
+            for sy, sp, w, b, n, st, dc, sq, sg, sev, seed, ne, cf
+            in itertools.product(*self.axes)
         ]
 
     def __iter__(self) -> Iterator[Scenario]:

@@ -1,11 +1,11 @@
-"""Scenario fan-out with process parallelism and on-disk result caching.
+"""Scenario fan-out with process/thread parallelism and result caching.
 
 :class:`SweepRunner` takes any iterable of :class:`Scenario` (usually a
 :class:`ScenarioGrid`), evaluates each point with a module-level
 evaluator function, and returns :class:`SweepResult` objects in scenario
-order regardless of worker count.  Completed points are cached as JSON
-files keyed by the scenario hash, so re-running a study — or extending
-its grid — only pays for the new points.
+order regardless of worker count or backend.  Completed points are
+cached as JSON files keyed by the scenario hash, so re-running a study —
+or extending its grid — only pays for the new points.
 
 Evaluators map ``Scenario -> dict`` (JSON-serializable values).  Two are
 built in:
@@ -21,25 +21,32 @@ import them by qualified name, the standard pickle contract).
 
 Both built-in evaluators resolve their :class:`SystemContext` through a
 process-wide pool (:func:`shared_context`), so every scenario evaluated
-in one process — serially or inside one pool worker — shares the
-context's memoized :class:`~repro.perfmodel.evalcache.Evaluator`: stage
-costs, compiled-timeline makespans and footprints computed for one
-scenario are reused by every later scenario at the same world size.
-Timeline scenarios never read the trace, so they are priced through the
-records-free makespan-only mode by default.
+in one process — serially, inside one pool worker, or across every
+thread of the ``backend="thread"`` pool — shares the context's memoized
+:class:`~repro.perfmodel.evalcache.Evaluator`: stage costs,
+compiled-timeline makespans and footprints computed for one scenario
+are reused by every later scenario at the same (world size, hetero
+spec).  Timeline scenarios never read the trace, so they are priced
+through the records-free makespan-only mode by default.  The built-in
+evaluators also report each scenario's evaluator-cache delta, which the
+runner surfaces as :attr:`SweepResult.cache_stats` and persists into
+the JSON cache files.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.config import get_preset
+from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
+from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
 from repro.sweep.grid import Scenario, ScenarioGrid
 from repro.systems import (
     FastMoEModel,
@@ -51,20 +58,111 @@ from repro.systems.base import SystemContext
 
 Evaluator = Callable[[Scenario], dict]
 
-#: Process-wide context pool, keyed by world size.  Worker processes each
-#: grow their own copy (the pool is never pickled), which is exactly the
-#: intra-process reuse wanted: scenarios dispatched to one worker share
-#: one memoized evaluator per world size.
-_CONTEXTS: dict[int | None, SystemContext] = {}
+#: Key under which the built-in evaluators report the per-scenario
+#: evaluator-cache stats.  The runner pops it out of ``values`` into
+#: :attr:`SweepResult.cache_stats` (and a sibling JSON field), so the
+#: physical values stay deterministic across worker layouts while cache
+#: efficacy stays visible per study.
+CACHE_STATS_KEY = "_evaluator_cache"
+
+#: Process-wide context pool, keyed by (world size, hetero spec).
+#: Worker processes each grow their own copy (the pool is never
+#: pickled), which is exactly the intra-process reuse wanted: scenarios
+#: dispatched to one worker share one memoized evaluator per cluster.
+_CONTEXTS: dict[tuple, SystemContext] = {}
+_POOL_LOCK = threading.Lock()
+
+#: The pool itself is bounded: a grid sweeping many distinct hetero
+#: specs (severities x seeds) would otherwise retain one context — with
+#: engines and memo — per point forever.  Evicted contexts are simply
+#: rebuilt (cold memo) if their cluster shape comes around again.
+MAX_SHARED_CONTEXTS = 64
+
+#: Environment knob bounding every shared context's evaluator memo
+#: (``SystemContext(evaluator_max_entries=...)``); reaches worker
+#: processes through the inherited environment.  Unset = unbounded.
+MAX_MEMO_ENTRIES_ENV = "REPRO_SWEEP_MAX_MEMO_ENTRIES"
 
 
-def shared_context(world_size: int | None) -> SystemContext:
-    """The process's shared :class:`SystemContext` for ``world_size``."""
-    ctx = _CONTEXTS.get(world_size)
-    if ctx is None:
-        ctx = SystemContext(world_size=world_size)
-        _CONTEXTS[world_size] = ctx
+def _default_max_entries() -> int | None:
+    raw = os.environ.get(MAX_MEMO_ENTRIES_ENV)
+    return int(raw) if raw else None
+
+
+def shared_context(
+    world_size: int | None, hetero: HeteroClusterSpec | None = None
+) -> SystemContext:
+    """The process's shared :class:`SystemContext` for one cluster shape."""
+    key = (world_size, hetero)
+    with _POOL_LOCK:
+        ctx = _CONTEXTS.get(key)
+        if ctx is None:
+            ctx = SystemContext(
+                world_size=world_size,
+                hetero=hetero,
+                evaluator_max_entries=_default_max_entries(),
+            )
+            # Exact per-scenario stats need evaluation + snapshot to be
+            # atomic per context (see _with_cache_stats); in-flight
+            # evaluations on an evicted context finish on their local
+            # reference.
+            ctx.sweep_lock = threading.Lock()
+            while len(_CONTEXTS) >= MAX_SHARED_CONTEXTS:
+                _CONTEXTS.pop(next(iter(_CONTEXTS)))
+            _CONTEXTS[key] = ctx
     return ctx
+
+
+def scenario_hetero(scenario: Scenario) -> HeteroClusterSpec | None:
+    """The scenario's heterogeneous cluster, or None for the plain pool.
+
+    Built from the straggler axes on the same DGX-A100 base cluster the
+    homogeneous path uses (resized only when the world outgrows it), so
+    a ``straggler="uniform"`` scenario evaluates to values identical to
+    no straggler at all — through the degenerate-hetero fast path.
+    """
+    if scenario.straggler is None:
+        return None
+    cluster = DGX_A100_CLUSTER
+    if scenario.world_size > cluster.world_size:
+        cluster = cluster.with_world_size(scenario.world_size)
+    model = StragglerModel(
+        kind=scenario.straggler,
+        severity=scenario.severity,
+        seed=scenario.straggler_seed,
+    )
+    return model.build(cluster=cluster)
+
+
+def _scenario_spec(scenario: Scenario) -> MoELayerSpec:
+    """The layer spec with the scenario's expert-count override applied."""
+    spec = get_preset(scenario.spec)
+    if scenario.num_experts is not None:
+        spec = spec.with_(num_experts=scenario.num_experts)
+    return spec
+
+
+def _scenario_batch(scenario: Scenario) -> int:
+    """Tokens a device actually processes, after capacity padding."""
+    if scenario.capacity_factor is None:
+        return scenario.batch
+    return max(1, math.ceil(scenario.batch * scenario.capacity_factor))
+
+
+def _with_cache_stats(ctx: SystemContext, before: dict, values: dict) -> dict:
+    """Attach the per-scenario evaluator-cache delta to ``values``."""
+    after = ctx.evaluator.cache_info()
+    delta = {
+        k: after[k] - before[k]
+        for k in after
+        if k not in ("entries", "max_entries")
+    }
+    delta["hits"] = sum(v for k, v in delta.items() if k.endswith("_hits"))
+    delta["misses"] = sum(v for k, v in delta.items() if k.endswith("_misses"))
+    delta["entries"] = after["entries"]
+    delta["max_entries"] = after["max_entries"]
+    values[CACHE_STATS_KEY] = delta
+    return values
 
 
 def _make_system(scenario: Scenario, ctx: SystemContext):
@@ -100,20 +198,28 @@ def _make_system(scenario: Scenario, ctx: SystemContext):
 
 def evaluate_system(scenario: Scenario) -> dict:
     """Evaluate one operating point through its system model."""
-    ctx = shared_context(scenario.world_size)
+    ctx = shared_context(scenario.world_size, scenario_hetero(scenario))
     model = _make_system(scenario, ctx)
-    report = model.evaluate(get_preset(scenario.spec), scenario.batch)
-    return {
-        "system": report.system,
-        "spec": report.spec_name,
-        "batch": report.batch,
-        "world_size": report.world_size,
-        "iteration_time": report.iteration_time,
-        "peak_memory_bytes": report.peak_memory_bytes,
-        "n": report.num_partitions,
-        "strategy": report.strategy,
-        "comp_utilization": report.comp_utilization,
-    }
+    # The context lock makes (snapshot, evaluate, snapshot) atomic so
+    # concurrent thread-backend scenarios cannot misattribute each
+    # other's cache hits; same-context evaluations would contend on the
+    # GIL anyway, and different contexts still proceed concurrently.
+    with ctx.sweep_lock:
+        before = ctx.evaluator.cache_info()
+        report = model.evaluate(
+            _scenario_spec(scenario), _scenario_batch(scenario)
+        )
+        return _with_cache_stats(ctx, before, {
+            "system": report.system,
+            "spec": report.spec_name,
+            "batch": report.batch,
+            "world_size": report.world_size,
+            "iteration_time": report.iteration_time,
+            "peak_memory_bytes": report.peak_memory_bytes,
+            "n": report.num_partitions,
+            "strategy": report.strategy,
+            "comp_utilization": report.comp_utilization,
+        })
 
 
 def evaluate_timeline(scenario: Scenario) -> dict:
@@ -124,47 +230,83 @@ def evaluate_timeline(scenario: Scenario) -> dict:
     """
     if scenario.n is None:
         raise ValueError("timeline scenarios need an explicit n")
-    ctx = shared_context(scenario.world_size)
-    makespan = ctx.evaluator.makespan(
-        get_preset(scenario.spec), scenario.batch, scenario.n,
-        scenario.strategy or "none",
-        decomposed_comm=scenario.decomposed_comm,
-        sequential=scenario.sequential,
-    )
-    return {
-        "makespan": makespan,
-        "iteration_time": makespan,
-        "n": scenario.n,
-        "strategy": scenario.strategy or "none",
-    }
+    ctx = shared_context(scenario.world_size, scenario_hetero(scenario))
+    with ctx.sweep_lock:  # exact stats attribution; see evaluate_system
+        before = ctx.evaluator.cache_info()
+        makespan = ctx.evaluator.makespan(
+            _scenario_spec(scenario), _scenario_batch(scenario), scenario.n,
+            scenario.strategy or "none",
+            decomposed_comm=scenario.decomposed_comm,
+            sequential=scenario.sequential,
+        )
+        return _with_cache_stats(ctx, before, {
+            "makespan": makespan,
+            "iteration_time": makespan,
+            "n": scenario.n,
+            "strategy": scenario.strategy or "none",
+        })
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One evaluated scenario: the point, its values, and provenance."""
+    """One evaluated scenario: the point, its values, and provenance.
+
+    ``cache_stats`` carries the evaluator-cache delta of the scenario's
+    original computation (hits/misses/evictions/entries), preserved
+    through the on-disk cache; ``None`` when the evaluator did not
+    report any.  It lives beside — not inside — ``values`` so the
+    physical results stay byte-identical across worker layouts.
+    """
 
     scenario: Scenario
     values: dict
     cached: bool = False
+    cache_stats: dict | None = None
 
     def __getitem__(self, key: str):
         return self.values[key]
 
 
 class SweepRunner:
-    """Fan scenarios out over processes with per-scenario JSON caching."""
+    """Fan scenarios out over workers with per-scenario JSON caching.
+
+    ``backend="process"`` (default) isolates workers in subprocesses;
+    ``backend="thread"`` runs them in threads sharing this process's
+    :func:`shared_context` pool, so cheap makespan-only points reuse the
+    in-process evaluator memo instead of paying process fan-out and a
+    cold cache per worker.  Scenarios on the *same* context serialize on
+    its lock (they would contend on the GIL regardless), which keeps the
+    per-scenario cache stats exact; scenarios on different contexts run
+    concurrently.
+
+    ``evaluator_max_entries`` bounds every shared context's memo (LRU)
+    for grids too large to cache whole.  It is exported through the
+    :data:`MAX_MEMO_ENTRIES_ENV` environment variable so process-backend
+    workers inherit it; contexts created before the run keep their
+    existing bound.
+    """
 
     def __init__(
         self,
         evaluate: Evaluator = evaluate_system,
         cache_dir: str | os.PathLike | None = None,
         workers: int = 1,
+        backend: str = "process",
+        evaluator_max_entries: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                f"backend must be 'process' or 'thread', got {backend!r}"
+            )
+        if evaluator_max_entries is not None and evaluator_max_entries < 1:
+            raise ValueError("evaluator_max_entries must be >= 1 (or None)")
         self.evaluate = evaluate
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
+        self.backend = backend
+        self.evaluator_max_entries = evaluator_max_entries
         self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
 
     # -- cache -----------------------------------------------------------------
@@ -173,7 +315,7 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{scenario.key(self._salt)}.json"
 
-    def _cache_load(self, scenario: Scenario) -> dict | None:
+    def _cache_load(self, scenario: Scenario) -> tuple[dict, dict | None] | None:
         path = self.cache_path(scenario)
         if path is None or not path.is_file():
             return None
@@ -185,14 +327,18 @@ class SweepRunner:
             payload.get("values"), dict
         ):
             return None  # foreign/corrupt entry shape: miss and rewrite
-        return payload["values"]
+        return payload["values"], payload.get("evaluator_cache")
 
-    def _cache_store(self, scenario: Scenario, values: dict) -> None:
+    def _cache_store(
+        self, scenario: Scenario, values: dict, stats: dict | None
+    ) -> None:
         path = self.cache_path(scenario)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"scenario": scenario.__dict__, "values": values}
+        if stats is not None:
+            payload["evaluator_cache"] = stats
         # Write-then-rename so concurrent sweeps never read a torn file.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -207,11 +353,14 @@ class SweepRunner:
     # -- running ---------------------------------------------------------------
     def run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         """Evaluate all scenarios; results come back in scenario order."""
+        if self.evaluator_max_entries is not None:
+            os.environ[MAX_MEMO_ENTRIES_ENV] = str(self.evaluator_max_entries)
         points = list(scenarios)
 
         # Resolve cache hits and dedupe repeated points (a concatenated
         # grid may name the same scenario twice — evaluate it once).
         values: dict[Scenario, dict] = {}
+        stats: dict[Scenario, dict | None] = {}
         cached: set[Scenario] = set()
         misses: list[Scenario] = []
         for sc in points:
@@ -219,23 +368,36 @@ class SweepRunner:
                 continue
             hit = self._cache_load(sc)
             if hit is not None:
-                values[sc] = hit
+                values[sc], stats[sc] = hit
                 cached.add(sc)
             else:
                 values[sc] = {}  # placeholder keeps dedupe order stable
+                stats[sc] = None
                 misses.append(sc)
 
         if misses:
             if self.workers == 1:
                 computed = [self.evaluate(sc) for sc in misses]
             else:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                pool_cls = (
+                    ThreadPoolExecutor
+                    if self.backend == "thread"
+                    else ProcessPoolExecutor
+                )
+                with pool_cls(max_workers=self.workers) as pool:
                     computed = list(pool.map(self.evaluate, misses))
             for sc, vals in zip(misses, computed):
+                sc_stats = vals.pop(CACHE_STATS_KEY, None)
                 values[sc] = vals
-                self._cache_store(sc, vals)
+                stats[sc] = sc_stats
+                self._cache_store(sc, vals, sc_stats)
 
         return [
-            SweepResult(scenario=sc, values=values[sc], cached=sc in cached)
+            SweepResult(
+                scenario=sc,
+                values=values[sc],
+                cached=sc in cached,
+                cache_stats=stats[sc],
+            )
             for sc in points
         ]

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.comm.cost import NcclCostModel
 from repro.config import ClusterSpec, DGX_A100_CLUSTER, MoELayerSpec
 from repro.hardware.device import A100_SXM_40GB, DeviceSpec
+from repro.hardware.hetero import DeviceRates, DeviceRateTable, HeteroClusterSpec
 from repro.hardware.topology import ClusterTopology
 from repro.memory.footprint import FootprintModel
 from repro.perfmodel.evalcache import Evaluator
@@ -42,20 +43,75 @@ class SystemContext:
     model built on one context shares stage costs, makespans, footprints
     and recorded sims, so e.g. the granularity search and the strategy
     search stop recomputing each other's work.
+
+    ``hetero`` installs a heterogeneous cluster: ``cluster`` and
+    ``device`` are derived from it (its base cluster and default
+    device), the topology carries its per-link bandwidth overrides, and
+    evaluation runs the timeline once per distinct device profile,
+    gating the iteration on the slowest one.  Every system model built
+    on the context — and both MPipeMoE selection paths — therefore
+    re-runs its Eq. 10 / Algorithm 1 searches under the skew.  A
+    degenerate (all-identical) hetero spec has no profiles and no
+    overrides: every layer collapses to the homogeneous fast path.
     """
 
     cluster: ClusterSpec = DGX_A100_CLUSTER
     device: DeviceSpec = A100_SXM_40GB
     world_size: int | None = None  # default: full cluster
+    hetero: HeteroClusterSpec | None = None
+    evaluator_max_entries: int | None = None  # LRU cap on the shared memo
 
     def __post_init__(self) -> None:
-        self.topology = ClusterTopology(self.cluster)
+        overrides = None
+        if self.hetero is not None:
+            self.cluster = self.hetero.cluster
+            self.device = self.hetero.default_device
+            overrides = self.hetero.link_overrides(self.effective_world)
+        self.topology = ClusterTopology(self.cluster, overrides)
         self.engine = SimEngine()
-        self.evaluator = Evaluator(self)
+        self._sim_profiles = (
+            ()
+            if self.hetero is None
+            else self.hetero.sim_profiles(self.effective_world)
+        )
+        self._profile_engines: dict[DeviceRates, SimEngine] = {}
+        self.evaluator = Evaluator(self, max_entries=self.evaluator_max_entries)
 
     @property
     def effective_world(self) -> int:
         return self.world_size or self.cluster.world_size
+
+    # -- heterogeneous views ------------------------------------------------
+    @property
+    def sim_profiles(self) -> tuple[DeviceRates, ...]:
+        """Distinct (comp, mem) device profiles; empty when homogeneous."""
+        return self._sim_profiles
+
+    def engine_for(self, profile: DeviceRates) -> SimEngine:
+        """An engine whose every simulated device runs at ``profile``.
+
+        The representative-device timeline lives on one simulated
+        device, so a default-only rate table prices "this device is the
+        straggler" exactly; engines are cached per profile so their
+        flat rate tables amortize across the whole study.
+        """
+        engine = self._profile_engines.get(profile)
+        if engine is None:
+            engine = SimEngine(device_rates=DeviceRateTable(default=profile))
+            self._profile_engines[profile] = engine
+        return engine
+
+    @property
+    def device_memory_bytes(self) -> int:
+        """HBM capacity gating OOM checks: the smallest active device."""
+        if self.hetero is None:
+            return self.device.memory_bytes
+        return self.hetero.min_memory_bytes(self.effective_world)
+
+    @property
+    def hetero_key(self) -> str:
+        """Stable digest of the hetero spec ("" when homogeneous)."""
+        return "" if self.hetero is None else self.hetero.key()
 
     def comm_model(self) -> NcclCostModel:
         return NcclCostModel(self.topology, self.effective_world)

@@ -13,6 +13,12 @@ Characteristics reproduced (Sec. III-B, Fig. 5a; Sec. V-D):
 * **dynamic shadowing** replicates hot experts locally, costing extra
   device memory — "FasterMoE requires more memory than FastMoE because
   of the dynamic shadowing and smart scheduling" (Sec. V-D).
+
+Heterogeneous contexts hit FasterMoE twice: the decomposed exchange
+already gates on the slowest pairwise path, and a degraded link lowers
+the underlying topology bandwidth on top of the ``STRAGGLER_FACTOR``
+penalty, while compute skew stretches its fixed-n pipeline like every
+other system.
 """
 
 from __future__ import annotations

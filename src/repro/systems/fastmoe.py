@@ -7,6 +7,11 @@ tensor-core path MPipeMoE's kernels hit, modeled by ``gemm_derate``.
 
 Memory is the plain Eq. 1-3 footprint (the Fig. 9 normalisation
 baseline).
+
+Under a heterogeneous context the sequential timeline is priced on the
+worst device profile like every other system — FastMoE has no overlap
+to hide a straggler behind, so its slowdown tracks the straggler's
+severity almost linearly.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ Granularity comes from Algorithm 1 (shared with PipeMoE); the memory
 reuse strategy comes from the Eq. 10 selector unless pinned via
 ``fixed_strategy`` (reproducing Fig. 13's S1-S4 ablations).  The
 reported footprint applies the Eq. 5 savings to the pipelined footprint.
+
+Built on a heterogeneous context (``SystemContext(hetero=...)``), both
+selection paths re-run under the skew: simulated trials price every
+(n, strategy) candidate on the straggler's device profiles with the
+link-degraded collectives, and the closed-form Eq. 10 selector sees
+W_comp/W_mem rescaled to the bottleneck device — which is how a slow
+node flips the choice from S1 toward recompute-heavy strategies
+(``benchmarks/bench_straggler_sensitivity.py``).
 """
 
 from __future__ import annotations

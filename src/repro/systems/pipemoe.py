@@ -4,6 +4,12 @@ Split-by-B micro-batches with fused fine-grained NCCL All-to-Alls
 (Fig. 5b) and, by default, the adaptive granularity of Algorithm 1;
 pass ``fixed_n`` to reproduce the PipeMoE(n=k) ablations of
 Figs. 8, 11 and 12.
+
+On a heterogeneous context the Algorithm 1 trials price candidates on
+the straggler device profiles, so the selected n shifts with the skew:
+a compute straggler makes fine pipelining pay launch overhead and GEMM
+undersaturation for compute it can no longer hide, pushing the argmin
+toward coarser n.
 """
 
 from __future__ import annotations

@@ -3,9 +3,9 @@ fused-vs-decomposed gap the paper builds on (Fig. 5)."""
 
 import pytest
 
-from repro.comm.cost import NCCL_LATENCY, NcclCostModel
+from repro.comm.cost import NCCL_LATENCY, P2P_LATENCY, NcclCostModel
 from repro.config import ClusterSpec, DGX_A100_CLUSTER
-from repro.hardware.topology import ClusterTopology
+from repro.hardware.topology import ClusterTopology, LinkOverrides
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +74,43 @@ class TestOtherCollectiveCosts:
     def test_effective_world_defaults_to_cluster(self, topo):
         assert NcclCostModel(topo).effective_world == 64
         assert NcclCostModel(topo, 16).effective_world == 16
+
+
+class TestDegradedBandwidth:
+    """Straggler hooks: structural per-link overrides ride the topology;
+    bandwidth_scale is the uniform collective-level what-if derate."""
+
+    def test_link_overrides_inflate_collective_costs(self, topo):
+        degraded = ClusterTopology(
+            DGX_A100_CLUSTER, LinkOverrides(node_scale=((0, 0.5),))
+        )
+        nominal = NcclCostModel(topo, 64)
+        skewed = NcclCostModel(degraded, 64)
+        nbytes = 1 << 26
+        assert skewed.alltoall_time(nbytes) - NCCL_LATENCY == pytest.approx(
+            (nominal.alltoall_time(nbytes) - NCCL_LATENCY) * 2
+        )
+        assert skewed.decomposed_alltoall_time(nbytes) > (
+            nominal.decomposed_alltoall_time(nbytes)
+        )
+
+    def test_bandwidth_scale_derates_every_query(self, topo):
+        nominal = NcclCostModel(topo, 64)
+        derated = NcclCostModel(topo, 64, bandwidth_scale=0.5)
+        nbytes = 1 << 26
+        for query in ("alltoall_time", "allreduce_time", "allgather_time"):
+            t0 = getattr(nominal, query)(nbytes) - NCCL_LATENCY
+            t1 = getattr(derated, query)(nbytes) - NCCL_LATENCY
+            assert t1 == pytest.approx(2 * t0, rel=1e-9), query
+        assert derated.p2p_time(nbytes, 0, 8) - P2P_LATENCY == pytest.approx(
+            (nominal.p2p_time(nbytes, 0, 8) - P2P_LATENCY) * 2
+        )
+
+    def test_unit_scale_is_identical(self, topo):
+        nominal = NcclCostModel(topo, 64)
+        unit = NcclCostModel(topo, 64, bandwidth_scale=1.0)
+        assert unit.alltoall_time(1 << 24) == nominal.alltoall_time(1 << 24)
+
+    def test_scale_validation(self, topo):
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            NcclCostModel(topo, 8, bandwidth_scale=0.0)

@@ -1,0 +1,194 @@
+"""Heterogeneous capability maps: specs, rate tables, stragglers."""
+
+import pytest
+
+from repro.config import ClusterSpec, DGX_A100_CLUSTER
+from repro.hardware.device import A100_SXM_40GB, V100_SXM_32GB
+from repro.hardware.hetero import (
+    DeviceRateTable,
+    DeviceRates,
+    HeteroClusterSpec,
+    STRAGGLER_KINDS,
+    StragglerModel,
+    UNIT_RATES,
+)
+
+
+class TestDeviceRates:
+    def test_unit_detection_and_tuple_order(self):
+        assert UNIT_RATES.is_unit
+        assert not DeviceRates(comp=0.5).is_unit
+        # Tuple order must match engine kind indices (comp, comm, mem).
+        assert DeviceRates(comp=0.1, comm=0.2, mem=0.3).as_tuple() == (0.1, 0.2, 0.3)
+
+    def test_compose_multiplies(self):
+        a = DeviceRates(comp=0.5, mem=0.8)
+        b = DeviceRates(comm=0.25)
+        c = a.compose(b)
+        assert c == DeviceRates(comp=0.5, comm=0.25, mem=0.8)
+        assert a.compose(UNIT_RATES) is a
+
+    @pytest.mark.parametrize("kwargs", [{"comp": 0.0}, {"comm": -1.0}, {"mem": 0.0}])
+    def test_positive_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DeviceRates(**kwargs)
+
+
+class TestDeviceRateTable:
+    def test_identity_detection(self):
+        assert DeviceRateTable().is_identity
+        assert DeviceRateTable(entries=((3, UNIT_RATES),)).is_identity
+        assert not DeviceRateTable(entries=((0, DeviceRates(comp=0.5)),)).is_identity
+        assert not DeviceRateTable(default=DeviceRates(mem=0.5)).is_identity
+
+    def test_lookup_falls_back_to_default(self):
+        table = DeviceRateTable(
+            entries=((1, DeviceRates(comp=0.5)),), default=DeviceRates(comm=0.9)
+        )
+        assert table.multipliers(1) == (0.5, 1.0, 1.0)
+        assert table.multipliers(0) == (1.0, 0.9, 1.0)
+        assert table.rates_for(1) == DeviceRates(comp=0.5)
+
+    def test_duplicate_and_negative_devices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DeviceRateTable(entries=((0, UNIT_RATES), (0, DeviceRates(comp=0.5))))
+        with pytest.raises(ValueError, match=">= 0"):
+            DeviceRateTable(entries=((-1, UNIT_RATES),))
+
+
+class TestHeteroClusterSpec:
+    def test_degenerate_spec_is_homogeneous(self):
+        spec = HeteroClusterSpec()
+        assert spec.is_homogeneous
+        assert spec.sim_profiles() == ()
+        assert spec.link_overrides() is None
+        assert spec.rate_table().is_identity
+        assert spec.bottleneck_rates() == UNIT_RATES
+        assert spec.min_memory_bytes() == A100_SXM_40GB.memory_bytes
+
+    def test_device_spec_override_becomes_rate_ratio(self):
+        spec = HeteroClusterSpec.of(devices={3: V100_SXM_32GB})
+        assert not spec.is_homogeneous
+        assert spec.device_for(3) == V100_SXM_32GB
+        assert spec.device_for(0) == A100_SXM_40GB
+        rates = spec.rates_for(3)
+        expected_comp = (
+            V100_SXM_32GB.sustained_gemm_flops / A100_SXM_40GB.sustained_gemm_flops
+        )
+        assert rates.comp == pytest.approx(expected_comp)
+        assert rates.comm == 1.0
+        assert rates.mem == 1.0  # same PCIe generation
+        assert spec.min_memory_bytes() == V100_SXM_32GB.memory_bytes
+
+    def test_explicit_rates_compose_with_spec_ratio(self):
+        spec = HeteroClusterSpec.of(
+            devices={2: V100_SXM_32GB}, rates={2: DeviceRates(comp=0.5)}
+        )
+        ratio = spec.spec_ratio(2).comp
+        assert spec.rates_for(2).comp == pytest.approx(0.5 * ratio)
+
+    def test_sim_profiles_dedupe_and_strip_comm(self):
+        spec = HeteroClusterSpec.of(
+            rates={
+                0: DeviceRates(comp=0.5),
+                1: DeviceRates(comp=0.5),
+                2: DeviceRates(comm=0.25),  # comm-only: unit profile
+            }
+        )
+        profiles = spec.sim_profiles()
+        # slow profile + the healthy default, comm stripped to 1.0.
+        assert DeviceRates(comp=0.5) in profiles
+        assert UNIT_RATES in profiles
+        assert len(profiles) == 2
+
+    def test_link_overrides_follow_comm_multipliers(self):
+        spec = HeteroClusterSpec.of(rates={9: DeviceRates(comm=0.25)})
+        ov = spec.link_overrides()
+        assert ov.gpu(9) == 0.25
+        assert ov.gpu(8) == 1.0
+        # Rank 9 lives on node 1 (8 GPUs per node): its shared IB uplink
+        # is dragged to the node's worst member.
+        assert ov.node(1) == 0.25
+        assert ov.node(0) == 1.0
+
+    def test_world_limits_active_ranks(self):
+        spec = HeteroClusterSpec.of(rates={32: DeviceRates(comp=0.5)})
+        assert spec.sim_profiles(16) == ()  # straggler outside the job
+        assert len(spec.sim_profiles(64)) == 2
+        assert spec.bottleneck_rank(64) == 32
+
+    def test_key_is_stable_and_sensitive(self):
+        a = HeteroClusterSpec.of(rates={0: DeviceRates(comp=0.5)})
+        b = HeteroClusterSpec.of(rates={0: DeviceRates(comp=0.5)})
+        c = HeteroClusterSpec.of(rates={0: DeviceRates(comp=0.4)})
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.key() != HeteroClusterSpec().key()
+        assert a == b and hash(a) == hash(b)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            HeteroClusterSpec.of(rates={64: DeviceRates(comp=0.5)})
+        with pytest.raises(IndexError):
+            HeteroClusterSpec().device_for(64)
+
+
+class TestStragglerModel:
+    def test_kind_and_severity_validation(self):
+        with pytest.raises(ValueError, match="unknown straggler"):
+            StragglerModel("meteor-strike")
+        with pytest.raises(ValueError, match="severity"):
+            StragglerModel("single-slow-gpu", severity=0.0)
+        with pytest.raises(ValueError, match="severity"):
+            StragglerModel("single-slow-gpu", severity=1.5)
+
+    @pytest.mark.parametrize("kind", STRAGGLER_KINDS)
+    def test_severity_one_degenerates_to_uniform(self, kind):
+        spec = StragglerModel(kind, severity=1.0).build()
+        assert spec.is_homogeneous
+
+    def test_uniform_has_no_overrides(self):
+        assert StragglerModel("uniform", severity=0.5).build().is_homogeneous
+
+    def test_single_slow_gpu_throttles_compute_only(self):
+        spec = StragglerModel("single-slow-gpu", severity=0.5, target=7).build()
+        assert spec.rates_for(7) == DeviceRates(comp=0.5)
+        assert spec.rates_for(6).is_unit
+
+    def test_slow_node_covers_the_whole_node(self):
+        spec = StragglerModel("slow-node", severity=0.5, target=1).build()
+        for rank in range(8, 16):
+            assert spec.rates_for(rank) == DeviceRates(comp=0.5, mem=0.5)
+        assert spec.rates_for(0).is_unit
+        assert spec.rates_for(16).is_unit
+
+    def test_degraded_link_throttles_comm_only(self):
+        spec = StragglerModel("degraded-link", severity=0.25, target=3).build()
+        assert spec.rates_for(3) == DeviceRates(comm=0.25)
+        assert spec.sim_profiles() == ()  # comm-only: no comp/mem profile
+        assert spec.link_overrides().gpu(3) == 0.25
+
+    def test_random_jitter_is_seeded_and_bounded(self):
+        a = StragglerModel("random-jitter", severity=0.6, seed=11).build()
+        b = StragglerModel("random-jitter", severity=0.6, seed=11).build()
+        c = StragglerModel("random-jitter", severity=0.6, seed=12).build()
+        assert a == b
+        assert a != c
+        world = a.cluster.world_size
+        comps = [a.rates_for(r).comp for r in range(world)]
+        assert all(0.6 <= comp <= 1.0 for comp in comps)
+        assert len(set(comps)) > 1  # genuinely jittered
+
+    def test_target_outside_cluster_rejected(self):
+        small = ClusterSpec(num_nodes=1, gpus_per_node=4)
+        with pytest.raises(ValueError, match="outside"):
+            StragglerModel("single-slow-gpu", severity=0.5, target=4).build(small)
+        with pytest.raises(ValueError, match="node"):
+            StragglerModel("slow-node", severity=0.5, target=1).build(small)
+
+    def test_build_uses_the_given_cluster(self):
+        spec = StragglerModel("single-slow-gpu", severity=0.5).build(
+            DGX_A100_CLUSTER
+        )
+        assert spec.cluster == DGX_A100_CLUSTER
+        assert spec.default_device == A100_SXM_40GB

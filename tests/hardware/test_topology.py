@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import ClusterSpec, DGX_A100_CLUSTER
-from repro.hardware.topology import ClusterTopology
+from repro.hardware.topology import ClusterTopology, LinkOverrides
 from repro.utils.units import GBPS, GBITPS
 
 
@@ -70,3 +70,54 @@ class TestBandwidths:
     def test_single_node_cluster(self):
         topo1 = ClusterTopology(ClusterSpec(num_nodes=1, gpus_per_node=4))
         assert topo1.alltoall_bandwidth(4) == 600 * GBPS * 0.6
+
+
+class TestLinkOverrides:
+    """Per-link bandwidth scales: the All-to-All follows the slowest
+    participant, and an absent/empty override is bit-identical to the
+    nominal topology."""
+
+    def test_no_overrides_is_bit_identical(self, topo):
+        scaled = ClusterTopology(
+            DGX_A100_CLUSTER, LinkOverrides(gpu_scale=((0, 1.0),))
+        )
+        for w in (1, 8, 16, 64):
+            assert scaled.alltoall_bandwidth(w) == topo.alltoall_bandwidth(w)
+        assert scaled.p2p_bandwidth(0, 9) == topo.p2p_bandwidth(0, 9)
+
+    def test_degraded_gpu_gates_the_collective(self, topo):
+        scaled = ClusterTopology(
+            DGX_A100_CLUSTER, LinkOverrides(gpu_scale=((3, 0.5),))
+        )
+        # Rank 3 participates: NVLink term halves everywhere it binds.
+        assert scaled.alltoall_bandwidth(8) == topo.alltoall_bandwidth(8) * 0.5
+        # A world that excludes rank 3 is unaffected... rank 3 is in every
+        # world >= 4, so check via a world of 2.
+        assert scaled.alltoall_bandwidth(2) == topo.alltoall_bandwidth(2)
+
+    def test_degraded_node_uplink_gates_inter_node(self, topo):
+        scaled = ClusterTopology(
+            DGX_A100_CLUSTER, LinkOverrides(node_scale=((0, 0.5),))
+        )
+        # IB-limited at 64 GPUs: halving one node's uplink halves the rate.
+        assert scaled.alltoall_bandwidth(64) == pytest.approx(
+            topo.alltoall_bandwidth(64) * 0.5
+        )
+        # The intra-node (NVLink) regime is untouched.
+        assert scaled.alltoall_bandwidth(8) == topo.alltoall_bandwidth(8)
+
+    def test_p2p_follows_scaled_links(self, topo):
+        scaled = ClusterTopology(
+            DGX_A100_CLUSTER,
+            LinkOverrides(gpu_scale=((1, 0.5),), node_scale=((1, 0.25),)),
+        )
+        assert scaled.p2p_bandwidth(0, 1) == topo.p2p_bandwidth(0, 1) * 0.5
+        # Inter-node pair into node 1: the per-NIC cap scales with the
+        # degraded uplink.
+        assert scaled.p2p_bandwidth(0, 8) == topo.p2p_bandwidth(0, 8) * 0.25
+
+    def test_override_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            LinkOverrides(gpu_scale=((0, 0.0),))
+        with pytest.raises(ValueError, match="duplicate"):
+            LinkOverrides(node_scale=((0, 0.5), (0, 0.7)))

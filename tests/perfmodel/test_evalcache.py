@@ -167,3 +167,71 @@ class TestNoFitPath:
         misses = ctx.evaluator.stats.footprint_misses
         assert not ctx.evaluator.fits(MOE_GPT3_XL, 4096, 4)
         assert ctx.evaluator.stats.footprint_misses == misses
+
+
+class TestBoundedMemo:
+    """The LRU cap: memory stays bounded, answers stay identical."""
+
+    def _bounded_context(self, max_entries):
+        ctx = SystemContext(world_size=WORLD, evaluator_max_entries=max_entries)
+        assert ctx.evaluator.max_entries == max_entries
+        return ctx
+
+    def test_entries_capped_and_evictions_counted(self):
+        ctx = self._bounded_context(4)
+        spec = get_preset("GPT-XL")
+        for n in (1, 2, 4, 8, 16, 32):
+            ctx.evaluator.makespan(spec, 8192, n, "none")
+        info = ctx.evaluator.cache_info()
+        assert len(ctx.evaluator._makespans) == 4
+        assert info["evictions"] > 0
+
+    def test_evicted_entry_recomputes_identically(self):
+        bounded = self._bounded_context(2)
+        unbounded = SystemContext(world_size=WORLD)
+        spec = get_preset("GPT-XL")
+        reference = unbounded.evaluator.makespan(spec, 8192, 2, "none")
+        assert bounded.evaluator.makespan(spec, 8192, 2, "none") == reference
+        for n in (4, 8, 16):  # push n=2 out of the 2-entry memo
+            bounded.evaluator.makespan(spec, 8192, n, "none")
+        misses = bounded.evaluator.stats.makespan_misses
+        assert bounded.evaluator.makespan(spec, 8192, 2, "none") == reference
+        assert bounded.evaluator.stats.makespan_misses == misses + 1
+
+    def test_hit_refreshes_recency(self):
+        ctx = self._bounded_context(2)
+        spec = get_preset("GPT-XL")
+        ctx.evaluator.makespan(spec, 8192, 2, "none")
+        ctx.evaluator.makespan(spec, 8192, 4, "none")
+        ctx.evaluator.makespan(spec, 8192, 2, "none")  # refresh n=2
+        ctx.evaluator.makespan(spec, 8192, 8, "none")  # evicts n=4, not n=2
+        misses = ctx.evaluator.stats.makespan_misses
+        ctx.evaluator.makespan(spec, 8192, 2, "none")
+        assert ctx.evaluator.stats.makespan_misses == misses  # still cached
+
+    def test_bounded_reports_identical_to_unbounded(self):
+        spec = get_preset("GPT-XL")
+        bounded = MPipeMoEModel(self._bounded_context(3))
+        unbounded = MPipeMoEModel(SystemContext(world_size=WORLD))
+        for batch in BATCHES:
+            assert bounded.evaluate(spec, batch) == unbounded.evaluate(spec, batch)
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SystemContext(world_size=WORLD, evaluator_max_entries=0)
+
+
+class TestCacheInfo:
+    def test_info_shape_and_counts(self):
+        ctx = make_context(enabled=True)
+        info = ctx.evaluator.cache_info()
+        for key in ("makespan_hits", "makespan_misses", "entries", "evictions",
+                    "max_entries"):
+            assert key in info
+        assert info["entries"] == 0
+        MPipeMoEModel(ctx).evaluate(get_preset("GPT-XL"), 8192)
+        info = ctx.evaluator.cache_info()
+        assert info["entries"] > 0
+        assert info["evictions"] == 0
+        assert info["max_entries"] is None
+        assert info["makespan_misses"] == ctx.evaluator.stats.makespan_misses

@@ -64,11 +64,33 @@ class TestScenario:
             {"batch": 0},
             {"n": 0},
             {"strategy": "S9"},
+            {"straggler": "meteor-strike"},
+            {"severity": 0.0},
+            {"severity": 1.5},
+            {"straggler_seed": -1},
+            {"num_experts": 0},
+            {"capacity_factor": 0.0},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             Scenario(**kwargs)
+
+    def test_hetero_axes_extend_the_key_and_label(self):
+        plain = Scenario(system="mpipemoe", batch=4096)
+        skewed = Scenario(
+            system="mpipemoe", batch=4096,
+            straggler="single-slow-gpu", severity=0.5,
+        )
+        assert plain.key() != skewed.key()
+        label = Scenario(
+            system="mpipemoe", straggler="degraded-link", severity=0.5,
+            num_experts=128, capacity_factor=1.25,
+        ).label()
+        assert "degraded-link@0.5x" in label
+        assert "E=128" in label and "f=1.25" in label
+        # Severity axes do not leak into homogeneous labels.
+        assert "@" not in plain.label()
 
 
 class TestScenarioGrid:
@@ -174,6 +196,33 @@ class TestRunnerParallelism:
         assert [r.values for r in parallel] == [r.values for r in serial]
         assert all(r["makespan"] > 0 for r in serial)
 
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepRunner(fake_evaluate, backend="fiber")
+
+    def test_thread_backend_matches_serial_and_process(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(2048, 4096), ns=(2, 4), strategies=(None, "S1"),
+        )
+        serial = SweepRunner(evaluate_timeline, workers=1).run(grid)
+        threaded = SweepRunner(evaluate_timeline, workers=4,
+                               backend="thread").run(grid)
+        assert [r.scenario for r in threaded] == [r.scenario for r in serial]
+        assert [r.values for r in threaded] == [r.values for r in serial]
+
+    def test_thread_backend_shares_the_in_process_memo(self):
+        """Threads hit the shared evaluator: across the whole run, at
+        least the repeated stage-cost lookups must be cache hits."""
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(4,),
+            batches=(1024,), ns=(2,), strategies=("S1", "S2", "S3", "S4"),
+        )
+        results = SweepRunner(evaluate_timeline, workers=2,
+                              backend="thread").run(grid)
+        hits = sum(r.cache_stats["hits"] for r in results if r.cache_stats)
+        assert hits > 0
+
 
 class TestEvaluators:
     def test_timeline_requires_explicit_n(self):
@@ -254,3 +303,91 @@ class TestAnalysis:
         groups = group_by(results, "batch")
         assert set(groups) == {1024, 2048}
         assert all(len(v) == 2 for v in groups.values())
+
+
+class TestHeteroScenarios:
+    def test_uniform_straggler_values_match_homogeneous(self):
+        """The degenerate-hetero fast path, end to end through the sweep:
+        a 'uniform' straggler scenario must price identically to no
+        straggler at all."""
+        from repro.sweep import evaluate_system
+
+        base = dict(system="mpipemoe", spec="GPT-S", world_size=8, batch=2048)
+        plain = evaluate_system(Scenario(**base))
+        uniform = evaluate_system(Scenario(**base, straggler="uniform"))
+        plain.pop("_evaluator_cache"), uniform.pop("_evaluator_cache")
+        assert uniform == plain
+
+    def test_straggler_scenario_slows_and_shifts(self):
+        from repro.sweep import evaluate_system
+
+        base = dict(system="mpipemoe", spec="GPT-XL", world_size=64,
+                    batch=24576)
+        healthy = evaluate_system(Scenario(**base))
+        skewed = evaluate_system(Scenario(
+            **base, straggler="single-slow-gpu", severity=0.5,
+        ))
+        assert skewed["iteration_time"] > healthy["iteration_time"]
+        assert (healthy["n"], skewed["n"]) == (8, 4)  # the acceptance shift
+
+    def test_num_experts_and_capacity_factor_axes(self):
+        from repro.sweep import evaluate_system
+
+        base = dict(system="fastmoe", spec="GPT-S", world_size=8, batch=2048)
+        plain = evaluate_system(Scenario(**base))
+        more_experts = evaluate_system(Scenario(**base, num_experts=128))
+        padded = evaluate_system(Scenario(**base, capacity_factor=1.5))
+        # More experts per rank => more model-state memory, same timing.
+        assert more_experts["peak_memory_bytes"] > plain["peak_memory_bytes"]
+        assert more_experts["iteration_time"] == plain["iteration_time"]
+        # Capacity padding grows the processed batch => slower.
+        assert padded["iteration_time"] > plain["iteration_time"]
+        assert padded["batch"] == 3072
+
+    def test_jitter_seed_reaches_the_evaluation(self):
+        from repro.sweep import scenario_hetero
+
+        a = scenario_hetero(Scenario(straggler="random-jitter", severity=0.5,
+                                     straggler_seed=1))
+        b = scenario_hetero(Scenario(straggler="random-jitter", severity=0.5,
+                                     straggler_seed=2))
+        assert a != b
+        assert scenario_hetero(Scenario()) is None
+
+    def test_runner_max_entries_reaches_new_contexts(self, monkeypatch):
+        from repro.sweep import runner as runner_mod
+
+        # setenv first so monkeypatch restores the variable after run()
+        # writes it; fresh pool so the bound applies to a new context.
+        monkeypatch.setenv(runner_mod.MAX_MEMO_ENTRIES_ENV, "")
+        monkeypatch.setattr(runner_mod, "_CONTEXTS", {})
+        runner = SweepRunner(evaluate_timeline, evaluator_max_entries=8)
+        runner.run([Scenario(system="timeline", spec="GPT-S", world_size=8,
+                             batch=1024, n=2)])
+        ctx = runner_mod.shared_context(8)
+        assert ctx.evaluator.max_entries == 8
+
+    def test_context_pool_is_bounded(self, monkeypatch):
+        from repro.sweep import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_CONTEXTS", {})
+        monkeypatch.setattr(runner_mod, "MAX_SHARED_CONTEXTS", 2)
+        for world in (2, 4, 8):
+            runner_mod.shared_context(world)
+        assert len(runner_mod._CONTEXTS) == 2
+        assert (8, None) in runner_mod._CONTEXTS  # newest kept
+
+    def test_cache_stats_survive_the_disk_cache(self, tmp_path):
+        runner = SweepRunner(evaluate_timeline, cache_dir=tmp_path / "cache")
+        scenario = Scenario(system="timeline", spec="GPT-S", world_size=8,
+                            batch=1024, n=2)
+        (first,) = runner.run([scenario])
+        assert first.cache_stats is not None
+        assert "hits" in first.cache_stats and "misses" in first.cache_stats
+        # Stats live beside the values, in memory and on disk.
+        assert "_evaluator_cache" not in first.values
+        payload = json.loads(runner.cache_path(scenario).read_text())
+        assert payload["evaluator_cache"] == first.cache_stats
+        (second,) = runner.run([scenario])
+        assert second.cached
+        assert second.cache_stats == first.cache_stats
