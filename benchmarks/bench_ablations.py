@@ -17,7 +17,7 @@ adaptive study replays Algorithm 1 over the sweep's (batch, n) lookup.
 """
 
 from repro.pipeline.granularity import GranularitySearcher
-from repro.sweep import ScenarioGrid, SweepRunner, evaluate_timeline
+from repro.api import ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -43,8 +43,11 @@ GRANULARITY_GRID = ScenarioGrid(
 
 
 def compute():
-    runner = SweepRunner(evaluate=evaluate_timeline)
-    sweep = runner.run(DECOMPOSITION_GRID + OVERLAP_GRID + GRANULARITY_GRID)
+    study = Study(
+        DECOMPOSITION_GRID + OVERLAP_GRID + GRANULARITY_GRID,
+        objective="timeline",
+    )
+    sweep = study.run()
     t = {
         (
             r.scenario.batch, r.scenario.n,

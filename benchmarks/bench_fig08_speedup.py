@@ -6,12 +6,13 @@ shape: PipeMoE wins everywhere except the non-compute-bound GPT-S(4k)
 point, where PipeMoE(n=1) is competitive because pipelining cannot help
 a workload that is not compute-bound.
 
-Declared as a sweep study: the 4 systems x 9 configs are one
-concatenated :class:`~repro.sweep.ScenarioGrid`, evaluated by the sweep
-runner (which shares the memoized evaluator across all 36 points).
+Declared as a :class:`~repro.api.Study`: the 4 systems x 9 configs are
+one concatenated :class:`~repro.api.ScenarioGrid`, evaluated through
+the public facade (which shares the memoized evaluator across all 36
+points).
 """
 
-from repro.sweep import ScenarioGrid, SweepRunner
+from repro.api import ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -26,7 +27,7 @@ GRID = (
 
 
 def compute_speedups():
-    results = SweepRunner().run(GRID)
+    results = Study(GRID).run()
     by = {
         (r.scenario.system, r.scenario.n, r.scenario.spec, r.scenario.batch): r
         for r in results

@@ -6,11 +6,11 @@ against FastMoE and FasterMoE, across 9 (model, batch) configs.
 Headline numbers: average 23% / up to 40% reduction vs FastMoE; average
 27% / up to 47% vs FasterMoE; while keeping >1x speedup.
 
-One rectangular :class:`~repro.sweep.ScenarioGrid` covers all four
-systems; the normalization/speedup arithmetic reads the sweep results.
+One rectangular :class:`~repro.api.ScenarioGrid` covers all four
+systems; the normalization/speedup arithmetic reads the study results.
 """
 
-from repro.sweep import ScenarioGrid, SweepRunner
+from repro.api import ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -26,7 +26,7 @@ GRID = ScenarioGrid(
 
 
 def compute():
-    results = SweepRunner().run(GRID)
+    results = Study(GRID).run()
     by = {
         (r.scenario.system, r.scenario.spec, r.scenario.batch): r for r in results
     }

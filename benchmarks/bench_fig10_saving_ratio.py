@@ -14,9 +14,10 @@ d_model down by a constant, which leaves the ratio intact because every
 term of Eq. 6 is linear in the tensor sizes.
 
 Each (model, n, B) point is a scenario of one
-:class:`~repro.sweep.ScenarioGrid`, measured by a custom module-level
-sweep evaluator (the executor runs are real work — exactly what the
-runner's process fan-out and on-disk cache exist for).
+:class:`~repro.api.ScenarioGrid`, measured by a custom module-level
+objective through the :class:`~repro.api.Study` facade (the executor
+runs are real work — exactly what the backends' process fan-out and the
+on-disk cache exist for).
 """
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.memory.footprint import FootprintModel
 from repro.memory.host_pool import HostBufferPool
 from repro.pipeline.executor import PipelinedMoEMiddle
 from repro.sim.memory_allocator import CachingAllocator
-from repro.sweep import Scenario, ScenarioGrid, SweepRunner
+from repro.api import Scenario, ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -95,7 +96,7 @@ def measure_saving_point(scenario: Scenario) -> dict:
 
 
 def compute():
-    results = SweepRunner(evaluate=measure_saving_point).run(GRID)
+    results = Study(GRID).objective(measure_saving_point).run()
     by = {
         (r.scenario.spec, r.scenario.n, r.scenario.batch): r for r in results
     }

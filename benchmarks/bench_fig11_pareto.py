@@ -6,12 +6,12 @@ closer to the origin the better: MPipeMoE dominates both baselines, and
 the MPipeMoE point trades a little time (reuse overhead) for the lowest
 memory.
 
-Declared as a sweep grid: the five systems are five scenarios of one
-:class:`~repro.sweep.ScenarioGrid` study, and the frontier claim is the
-sweep subsystem's own :func:`~repro.sweep.pareto_front`.
+Declared as a :class:`~repro.api.Study`: the five systems are five
+scenarios of one :class:`~repro.api.ScenarioGrid`, and the frontier
+claim is the ResultSet's own :meth:`~repro.api.ResultSet.pareto`.
 """
 
-from repro.sweep import ScenarioGrid, SweepRunner, pareto_front, sweep_table
+from repro.api import ScenarioGrid, Study
 
 from conftest import emit, run_once
 
@@ -25,9 +25,8 @@ GRID = (
 
 
 def test_fig11_pareto(benchmark):
-    results = run_once(benchmark, lambda: SweepRunner().run(GRID))
-    table = sweep_table(
-        results,
+    results = run_once(benchmark, lambda: Study(GRID).run())
+    table = results.table(
         [
             "system",
             ("memory (MB)", lambda r: r["peak_memory_bytes"] / 1e6),
@@ -58,6 +57,6 @@ def test_fig11_pareto(benchmark):
     assert mpipe["iteration_time"] <= pipe["iteration_time"] * 1.35
 
     # The Fig. 11 frontier: both baselines are dominated, MPipeMoE is on it.
-    front = {r["system"] for r in pareto_front(results)}
+    front = {r["system"] for r in results.pareto()}
     assert "MPipeMoE" in front
     assert not {"FastMoE", "FasterMoE"} & front

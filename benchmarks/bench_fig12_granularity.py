@@ -5,11 +5,12 @@ to n=1) as B sweeps 4k..31k, plus the adaptive configuration (dashed
 line) tracking the upper envelope.  Published bands: n=2 best below 8k,
 n=4 best for 8k-22k, n=8 best beyond 22k.
 
-The (B x n) sweep is one :class:`~repro.sweep.ScenarioGrid` over the
-pipemoe backend with the adaptive point as ``n=None``.
+The (B x n) sweep is one :class:`~repro.api.ScenarioGrid` over the
+pipemoe backend with the adaptive point as ``n=None``, run through the
+:class:`~repro.api.Study` facade.
 """
 
-from repro.sweep import ScenarioGrid, SweepRunner
+from repro.api import ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -23,7 +24,7 @@ GRID = ScenarioGrid(
 
 
 def compute():
-    results = SweepRunner().run(GRID)
+    results = Study(GRID).run()
     by = {(r.scenario.batch, r.scenario.n): r for r in results}
     rows = []
     for batch in BATCHES:

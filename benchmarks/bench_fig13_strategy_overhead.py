@@ -14,7 +14,7 @@ The (N x B x strategy) study concatenates two grids — the no-reuse
 PipeMoE baseline and the mpipemoe strategy axis (``None`` = adaptive).
 """
 
-from repro.sweep import ScenarioGrid, SweepRunner
+from repro.api import ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -36,7 +36,7 @@ GRID = (
 
 
 def compute():
-    results = SweepRunner().run(GRID)
+    results = Study(GRID).run()
     by = {
         (r.scenario.system, r.scenario.world_size, r.scenario.batch,
          r.scenario.strategy): r

@@ -35,7 +35,7 @@ import time
 
 from repro.config import get_preset
 from repro.hardware.hetero import StragglerModel
-from repro.sweep import ScenarioGrid, SweepRunner, sweep_table
+from repro.api import ScenarioGrid, Study
 from repro.systems import MPipeMoEModel
 from repro.systems.base import SystemContext
 from repro.utils import Table
@@ -161,12 +161,11 @@ def hetero_grid_sweep(args) -> dict:
             severities=(1.0, 0.7, 0.4), num_experts=(64, 128),
             capacity_factors=(1.0, 1.25),
         )
-    runner = SweepRunner(workers=args.workers, backend="thread")
+    study = Study(grid).backend("thread").workers(args.workers)
     t0 = time.perf_counter()
-    results = runner.run(grid)
+    results = study.run()
     wall = time.perf_counter() - t0
-    print(sweep_table(
-        results,
+    print(results.table(
         ["label", "n", "strategy", ("time (s)", "iteration_time")],
         title=f"Hetero grid, {len(results)} scenarios, thread backend",
     ))

@@ -15,7 +15,7 @@ from repro.hardware.interference import PAPER_INTERFERENCE
 from repro.memory.host_pool import HostBufferPool
 from repro.memory.strategies import STRATEGIES, strategy_names
 from repro.pipeline.executor import PipelinedMoEMiddle
-from repro.sweep import Scenario, ScenarioGrid, SweepRunner
+from repro.api import Scenario, ScenarioGrid, Study
 from repro.utils import Table
 
 from conftest import emit, run_once
@@ -61,7 +61,7 @@ def compute():
                 list(s.q_bw),
             )
         )
-    return rows, SweepRunner(evaluate=count_offloads).run(STRATEGY_GRID)
+    return rows, Study(STRATEGY_GRID).objective(count_offloads).run()
 
 
 def test_table2_strategies(benchmark):

@@ -2,7 +2,10 @@
 
 Builds an MPipeMoE layer (adaptive pipeline + adaptive memory reuse),
 runs one forward/backward over four simulated ranks, and prints what the
-adaptive machinery decided.
+adaptive machinery decided.  Then re-asks the same question at paper
+scale through the public study facade (``repro.api``): one
+:class:`~repro.api.Study` prices all four systems on the 64-GPU testbed
+and reads the answer off a :class:`~repro.api.ResultSet`.
 
 Run:  python examples/quickstart.py
 """
@@ -10,6 +13,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 import repro
+from repro.api import ScenarioGrid, Study
 from repro.tensor import Tensor
 
 WORLD = 4
@@ -55,6 +59,29 @@ def main() -> None:
     gate_grad = np.abs(layer.gate.wg.grad).sum()
     expert_grad = np.abs(layer.experts[0][0].w1.grad).sum()
     print(f"|gate grad| = {gate_grad:.3f}, |expert[0][0].w1 grad| = {expert_grad:.3f}")
+
+    # The same question at paper scale, through the public API: how do
+    # the four systems compare on the 64-GPU GPT-XL testbed?
+    results = Study(
+        ScenarioGrid(
+            systems=("fastmoe", "fastermoe", "pipemoe", "mpipemoe"),
+            batches=(16384,),
+        )
+    ).run()
+    print()
+    print(results.table(
+        [
+            "system",
+            ("time (ms)", lambda r: r["iteration_time"] * 1e3),
+            ("memory (MB)", lambda r: r["peak_memory_bytes"] / 1e6),
+            "n",
+            "strategy",
+        ],
+        title="repro.api study: GPT-XL, 64 GPUs, B=16384",
+    ))
+    fastest = results.best("iteration_time")
+    print(f"fastest system: {fastest['system']} "
+          f"({fastest['iteration_time'] * 1e3:.1f} ms)")
     print("quickstart OK")
 
 

@@ -14,9 +14,11 @@ Three short studies on the GPT-XL x 64-GPU testbed:
    override (no hand-written multipliers: the capability ratio is
    derived from the specs).
 
-All of it drives the same sweep machinery as the paper-figure benches,
-on the thread backend so every point shares one in-process evaluator
-memo; the cache columns show what that sharing saved.
+All of it drives the public :class:`repro.api.Study` facade — the same
+machinery as the paper-figure benches — on the thread backend so every
+point shares one in-process evaluator memo; the cache columns show what
+that sharing saved.  The skew-kind study uses ``Study.cluster(...)``,
+the facade's hetero overlay: one homogeneous grid, re-run per cluster.
 
 Run:  PYTHONPATH=src python examples/straggler_study.py
 """
@@ -25,10 +27,10 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ResultSet, ScenarioGrid, Study
 from repro.config import get_preset
 from repro.hardware.device import V100_SXM_32GB
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
-from repro.sweep import ScenarioGrid, SweepRunner, sweep_table
 from repro.systems import MPipeMoEModel
 from repro.systems.base import SystemContext
 from repro.utils import Table
@@ -44,7 +46,7 @@ def severity_ladder(workers: int) -> None:
         batches=(BATCH,), stragglers=("single-slow-gpu",),
         severities=(1.0, 0.8, 0.6, 0.5, 0.4),
     )
-    results = SweepRunner(workers=workers, backend="thread").run(grid)
+    results = Study(grid).backend("thread").workers(workers).run()
     table = Table(
         ["severity", "n", "strategy", "time (ms)", "vs healthy",
          "memo hits"],
@@ -61,15 +63,16 @@ def severity_ladder(workers: int) -> None:
 
 
 def skew_kinds(workers: int) -> None:
-    grid = ScenarioGrid(
-        systems=("mpipemoe",), specs=(SPEC,), world_sizes=(WORLD,),
-        batches=(BATCH,),
-        stragglers=("single-slow-gpu", "degraded-link", "slow-node"),
-        severities=(0.5,),
-    )
-    results = SweepRunner(workers=workers, backend="thread").run(grid)
-    print(sweep_table(
-        results,
+    # One homogeneous grid; the facade's cluster overlay re-targets it
+    # at each straggler kind without rebuilding the axes.
+    base = Study(
+        ScenarioGrid(systems=("mpipemoe",), specs=(SPEC,),
+                     world_sizes=(WORLD,), batches=(BATCH,))
+    ).backend("thread").workers(workers)
+    rows = []
+    for kind in ("single-slow-gpu", "degraded-link", "slow-node"):
+        rows.extend(base.cluster(kind, severity=0.5).run())
+    print(ResultSet(rows).table(
         ["label", "n", "strategy", ("time (ms)",
          lambda r: r["iteration_time"] * 1e3)],
         title="Same severity, three bottlenecks",

@@ -1,16 +1,21 @@
-"""Cluster-scale scenario study driven by the sweep subsystem.
+"""Cluster-scale scenario study driven by the public ``repro.api`` facade.
 
 Declares a 100+-point study in four grids — the full system comparison
 over world sizes and batches, a memory-strategy ablation, a granularity
-scan, and a model-spec cross-check — fans it out over worker processes
-with on-disk caching, and post-processes the results into paper-style
-tables plus per-world-size Pareto frontiers (Fig. 11 at every scale).
+scan, and a model-spec cross-check — fans it out over an execution
+backend of your choice with on-disk caching, and post-processes the
+results through the :class:`~repro.api.ResultSet` accessors into
+paper-style tables plus per-world-size Pareto frontiers (Fig. 11 at
+every scale).
 
 Re-running is nearly free: completed scenarios are cached under
 ``--cache-dir`` keyed by scenario hash, so extending the grids only
-evaluates the new points.
+evaluates the new points.  The same study runs unchanged on any
+registered backend (serial / thread / process / asyncio) — results are
+byte-identical by contract.
 
 Run:  PYTHONPATH=src python examples/sweep_cluster.py [--workers 4]
+      PYTHONPATH=src python examples/sweep_cluster.py --backend thread
 """
 
 from __future__ import annotations
@@ -18,13 +23,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.sweep import (
-    ScenarioGrid,
-    SweepRunner,
-    group_by,
-    pareto_front,
-    sweep_table,
-)
+from repro.api import ScenarioGrid, Study, available_backends
 
 WORLDS = (8, 16, 32, 64)
 BATCHES = (4096, 8192, 16384, 32768, 65536)
@@ -51,30 +50,37 @@ SPECS = ScenarioGrid(
     world_sizes=(64,), batches=(16384, 32768),
 )
 
-STUDY = COMPARISON + STRATEGIES + GRANULARITY + SPECS
+STUDY_GRID = COMPARISON + STRATEGIES + GRANULARITY + SPECS
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", default="process",
+                        choices=available_backends())
     parser.add_argument("--cache-dir", default=".sweep_cache")
     args = parser.parse_args()
 
-    runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
+    study = (
+        Study(STUDY_GRID)
+        .backend(args.backend)
+        .workers(args.workers)
+        .cache(args.cache_dir)
+    )
     t0 = time.perf_counter()
-    results = runner.run(STUDY)
+    results = study.run()
     wall = time.perf_counter() - t0
-    hits = sum(r.cached for r in results)
+    stats = results.cache_stats()
     print(
-        f"{len(results)} scenarios in {wall:.1f}s "
-        f"({hits} cache hits, {len(results) - hits} evaluated, "
-        f"workers={args.workers})\n"
+        f"{stats['scenarios']} scenarios in {wall:.1f}s "
+        f"({stats['disk_hits']} cache hits, "
+        f"{stats['scenarios'] - stats['disk_hits']} evaluated, "
+        f"backend={args.backend}, workers={args.workers})\n"
     )
 
     comparison = results[: len(COMPARISON)]
     print(
-        sweep_table(
-            comparison,
+        comparison.table(
             [
                 "world_size",
                 "batch",
@@ -90,20 +96,17 @@ def main() -> None:
 
     # Fig. 11 at every scale: the memory-time frontier per world size.
     print("\nPareto frontiers (time, memory) per world size, B=16384:")
-    at_b = [r for r in comparison if r.scenario.batch == 16384]
-    for world, group in sorted(group_by(at_b, "world_size").items()):
-        front = pareto_front(group)
+    at_b = comparison.group_by("batch")[16384]
+    for world, group in sorted(at_b.group_by("world_size").items()):
         points = ", ".join(
             f"{r['system']} ({r['iteration_time'] * 1e3:.1f} ms, "
             f"{r['peak_memory_bytes'] / 1e6:.0f} MB)"
-            for r in front
+            for r in group.pareto()
         )
         print(f"  N={world:3d}: {points}")
 
     # Largest-scale speedup summary.
-    biggest = group_by(
-        [r for r in comparison if r.scenario.world_size == 64], "batch"
-    )
+    biggest = comparison.group_by("world_size")[64].group_by("batch")
     print("\nMPipeMoE speedup over FastMoE at 64 GPUs:")
     for batch, group in sorted(biggest.items()):
         by_system = {r["system"]: r for r in group}
@@ -116,8 +119,7 @@ def main() -> None:
     strategies = results[len(COMPARISON): len(COMPARISON) + len(STRATEGIES)]
     print()
     print(
-        sweep_table(
-            strategies,
+        strategies.table(
             [
                 "batch",
                 "strategy",

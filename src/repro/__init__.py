@@ -11,6 +11,14 @@ The paper's usage pattern translates directly::
                            num_experts=64, world_size=8,
                            pipeline=True, memory_reuse=True)
 
+Studies — evaluating operating points across systems, cluster shapes
+and batch sizes — go through the stable facade :mod:`repro.api`
+(loaded lazily; ``python -m repro`` is the matching CLI)::
+
+    from repro.api import Study, ScenarioGrid
+
+    results = Study(ScenarioGrid(batches=(8192, 16384))).run()
+
 See :mod:`repro.core` for the layer, :mod:`repro.systems` for the
 evaluation system models (FastMoE / FasterMoE / PipeMoE / MPipeMoE),
 :mod:`repro.pipeline` for adaptive pipelining, and :mod:`repro.memory`
@@ -30,9 +38,10 @@ from repro.config import (
 from repro.core import MoELayer, MoEOutput, TopKGate, ExpertFFN
 from repro.tensor import Tensor, no_grad
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "MoELayer",
     "MoEOutput",
     "TopKGate",
@@ -48,3 +57,18 @@ __all__ = [
     "DGX_A100_CLUSTER",
     "get_preset",
 ]
+
+
+def __getattr__(name: str):
+    # The study facade loads lazily: `import repro` stays cheap for
+    # layer-only users, while `repro.api.Study` works without an extra
+    # import statement.
+    if name == "api":
+        import repro.api
+
+        return repro.api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | {"api"})

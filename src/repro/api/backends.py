@@ -1,0 +1,217 @@
+"""Pluggable execution backends for studies and sweeps.
+
+A :class:`Backend` turns an evaluator function and a list of work items
+into a list of results, preserving item order.  Four implementations
+ship registered under well-known names:
+
+* ``serial`` — in-process loop; the reference semantics.
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; workers
+  share the process's memoized evaluator contexts, the right choice for
+  cheap makespan-only points.
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`;
+  isolates heavy evaluations, each worker grows its own context pool.
+  Evaluators must be module-level (picklable by qualified name).
+* ``asyncio`` — an event loop driving either native ``async def``
+  evaluators (awaited concurrently, bounded by ``workers``) or plain
+  callables (via ``asyncio.to_thread``); built for latency-bound
+  evaluators such as remote or I/O-backed objectives.
+
+Third-party backends plug in through :func:`register_backend` (usable
+as a decorator) and are then selectable by name everywhere a backend is
+accepted — ``Study.backend("mybackend")``, ``SweepRunner(backend=...)``,
+and the ``python -m repro`` CLI.  Every call site also accepts a
+:class:`Backend` *instance* directly, so configured backends need no
+registration at all.
+
+This module is deliberately free of ``repro`` imports: the legacy
+:class:`~repro.sweep.runner.SweepRunner` delegates here without creating
+an import cycle with the :mod:`repro.api` facade above it.
+
+Determinism contract: a backend must return ``[fn(item) for item in
+items]`` — same values, same order — differing only in *how* the calls
+are scheduled.  The pool backends degrade to the in-line loop at
+``workers == 1`` (no pool spin-up, and in-process side effects such as
+shared evaluator memos stay visible to the caller).
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import inspect
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+class Backend(abc.ABC):
+    """Execution strategy: map an evaluator over work items, in order."""
+
+    #: Registry name; instances constructed directly may leave it as-is.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any], *, workers: int = 1
+    ) -> list[Any]:
+        """Return ``[fn(item) for item in items]`` (order preserved)."""
+
+    def _require_sync(self, fn: Callable) -> None:
+        """Reject ``async def`` evaluators on non-async backends loudly —
+        silently returning un-awaited coroutine objects is never right."""
+        if inspect.iscoroutinefunction(fn):
+            raise TypeError(
+                f"evaluator {getattr(fn, '__qualname__', fn)!r} is a coroutine "
+                f"function; the {self.name!r} backend runs plain callables — "
+                f"use backend='asyncio' for async evaluators"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class SerialBackend(Backend):
+    """Plain in-process loop — the semantics every other backend must match."""
+
+    name = "serial"
+
+    def map(self, fn, items, *, workers: int = 1) -> list:
+        self._require_sync(fn)
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(Backend):
+    """Thread-pool fan-out sharing the caller's process (and its memos)."""
+
+    name = "thread"
+
+    def map(self, fn, items, *, workers: int = 1) -> list:
+        self._require_sync(fn)
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessBackend(Backend):
+    """Process-pool fan-out; evaluators travel by qualified name."""
+
+    name = "process"
+
+    def map(self, fn, items, *, workers: int = 1) -> list:
+        self._require_sync(fn)
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class AsyncioBackend(Backend):
+    """Event-loop backend for latency-bound evaluators.
+
+    ``async def`` evaluators are awaited directly, up to ``workers``
+    in flight at once; plain callables are offloaded to threads via
+    :func:`asyncio.to_thread` under the same concurrency bound, so the
+    backend is a drop-in for the built-in (synchronous) evaluators too.
+    """
+
+    name = "asyncio"
+
+    def map(self, fn, items, *, workers: int = 1) -> list:
+        if not items:
+            return []
+        coro = self._gather(fn, items, max(1, workers))
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(coro)
+        # Called from inside a running loop (a notebook, an async app):
+        # asyncio.run() would raise, so drive the gather on a private
+        # loop in a helper thread and block this caller on the result.
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(asyncio.run, coro).result()
+
+    async def _gather(self, fn, items, workers: int) -> list:
+        semaphore = asyncio.Semaphore(workers)
+        is_async = inspect.iscoroutinefunction(fn)
+
+        async def one(item):
+            async with semaphore:
+                if is_async:
+                    return await fn(item)
+                return await asyncio.to_thread(fn, item)
+
+        return list(await asyncio.gather(*(one(item) for item in items)))
+
+
+#: name -> zero-arg factory returning a fresh Backend.
+_REGISTRY: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend] | None = None,
+    *,
+    overwrite: bool = False,
+):
+    """Register a backend factory under ``name``.
+
+    ``factory`` is any zero-arg callable returning a :class:`Backend`
+    (typically the class itself).  Usable as a decorator::
+
+        @register_backend("dask")
+        class DaskBackend(Backend): ...
+
+    Re-registering an existing name raises unless ``overwrite=True``.
+    """
+    if factory is None:  # decorator form
+        def decorate(factory):
+            register_backend(name, factory, overwrite=overwrite)
+            return factory
+
+        return decorate
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True "
+            f"to replace it"
+        )
+    if not callable(factory):
+        raise TypeError(f"backend factory for {name!r} is not callable: {factory!r}")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(spec: "str | Backend") -> Backend:
+    """Resolve a backend by registry name, or pass an instance through."""
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        factory = _REGISTRY.get(spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown backend {spec!r}; registered backends: "
+                f"{', '.join(available_backends())}"
+            )
+        backend = factory()
+        if not isinstance(backend, Backend):
+            raise TypeError(
+                f"factory for backend {spec!r} returned {type(backend).__name__}, "
+                f"not a Backend"
+            )
+        return backend
+    raise TypeError(
+        f"backend must be a registered name or a Backend instance, "
+        f"got {type(spec).__name__}"
+    )
+
+
+register_backend("serial", SerialBackend)
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)
+register_backend("asyncio", AsyncioBackend)

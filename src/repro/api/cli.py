@@ -1,0 +1,250 @@
+"""``python -m repro`` — drive studies from the command line.
+
+Three subcommands, all running through the :class:`~repro.api.Study`
+facade:
+
+* ``repro sweep`` — build a :class:`~repro.sweep.grid.ScenarioGrid`
+  from axis flags, run it, print the table, optionally persist JSON.
+  ``--smoke`` pins a small deterministic grid for CI.
+* ``repro bench`` — re-emit a named paper-figure study (``--list``
+  shows them) through the public facade.
+* ``repro study`` — run a declarative JSON study spec
+  (:meth:`Study.from_spec`); ``--json -`` streams the ResultSet to
+  stdout.
+
+Every command exits non-zero on bad input with the eager validation
+errors of the underlying API (unknown axes, backends, objectives).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.api.backends import available_backends
+from repro.api.study import OBJECTIVES, Study
+from repro.sweep.grid import BACKEND_NAMES, ScenarioGrid
+
+#: The CI smoke grid: tiny, timeline-priced, deterministic.
+SMOKE_SPEC = {
+    "grids": [
+        {
+            "systems": ["timeline"],
+            "specs": ["GPT-S"],
+            "world_sizes": [8],
+            "batches": [1024, 2048],
+            "ns": [1, 2],
+            "strategies": ["none", "S1"],
+        }
+    ],
+    "objective": "timeline",
+    "backend": "serial",
+}
+
+#: Named paper-figure studies for ``repro bench`` — each is a Study spec
+#: mirroring the grid of the corresponding ``benchmarks/bench_*.py``.
+BENCH_SPECS: dict[str, dict] = {
+    "fig08": {
+        "grids": [
+            {"systems": ["fastmoe", "fastermoe"],
+             "specs": ["GPT-S", "BERT-L", "GPT-XL"],
+             "batches": [4096, 8192, 16384]},
+            {"systems": ["pipemoe"],
+             "specs": ["GPT-S", "BERT-L", "GPT-XL"],
+             "batches": [4096, 8192, 16384], "ns": [1, None]},
+        ],
+    },
+    "fig11": {
+        "grids": [
+            {"systems": ["fastmoe", "fastermoe"], "batches": [16384]},
+            {"systems": ["pipemoe"], "ns": [4, None], "batches": [16384]},
+            {"systems": ["mpipemoe"], "batches": [16384]},
+        ],
+    },
+    "fig12": {
+        "grids": [
+            # The full batch scan of bench_fig12_granularity.py,
+            # including the band-transition points (20480/22528 around
+            # the n=4 -> n=8 switch) the figure exists to show.
+            {"systems": ["pipemoe"],
+             "batches": [4096, 6144, 8192, 12288, 16384, 20480, 22528,
+                         24576, 28672, 31744],
+             "ns": [1, 2, 4, 8, None]},
+        ],
+    },
+}
+
+
+def _parse_optional(text: str, cast):
+    """Axis values where ``none``/``adaptive`` mean the adaptive None."""
+    if text.lower() in ("none", "adaptive"):
+        return None
+    return cast(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPipeMoE reproduction — public study CLI (repro.api).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_flags(p):
+        # Defaults are None sentinels so "flag given" is distinguishable
+        # from "flag omitted": `repro study` must let an explicit
+        # `--backend serial` override a spec's backend.
+        p.add_argument("--backend", default=None,
+                       help=f"execution backend ({', '.join(available_backends())}; "
+                            f"default serial)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker count (default 1)")
+        p.add_argument("--cache-dir", default=None,
+                       help="cache completed scenarios as JSON under this dir")
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="write the ResultSet JSON here ('-' for stdout)")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress the result table")
+
+    sweep = sub.add_parser("sweep", help="run a scenario grid built from flags")
+    sweep.add_argument("--systems", nargs="+", default=["mpipemoe"],
+                       metavar="SYS", help=f"one of {BACKEND_NAMES}")
+    sweep.add_argument("--specs", nargs="+", default=["GPT-XL"])
+    sweep.add_argument("--world-sizes", nargs="+", type=int, default=[64])
+    sweep.add_argument("--batches", nargs="+", type=int, default=[16384])
+    sweep.add_argument("--ns", nargs="+", default=["adaptive"],
+                       help="pipeline granularities; 'adaptive' for Algorithm 1")
+    sweep.add_argument("--strategies", nargs="+", default=["adaptive"],
+                       help="memory-reuse strategies; 'adaptive' for Eq. 10")
+    sweep.add_argument("--stragglers", nargs="+", default=["adaptive"],
+                       help="straggler kinds; 'none'/'adaptive' = homogeneous")
+    sweep.add_argument("--severities", nargs="+", type=float, default=[1.0])
+    sweep.add_argument("--objective", default="system",
+                       choices=sorted(OBJECTIVES))
+    sweep.add_argument("--smoke", action="store_true",
+                       help="ignore grid flags; run the pinned CI smoke grid")
+    add_run_flags(sweep)
+
+    bench = sub.add_parser("bench", help="re-emit a named paper-figure study")
+    bench.add_argument("name", nargs="?", help="study name (see --list)")
+    bench.add_argument("--list", action="store_true", dest="list_benches",
+                       help="list the available named studies")
+    add_run_flags(bench)
+
+    study = sub.add_parser("study", help="run a declarative JSON study spec")
+    study.add_argument("spec", help="path to the study spec JSON file")
+    add_run_flags(study)
+
+    return parser
+
+
+def _finish(study: Study, args, title: str) -> int:
+    results = study.run()
+    if not args.quiet:
+        print(results.table(title=title))
+        stats = results.cache_stats()
+        print(
+            f"\n{stats['scenarios']} scenarios "
+            f"({stats['disk_hits']} disk hits, "
+            f"{stats['evaluator_hits']} evaluator-memo hits)"
+        )
+    if args.json:
+        payload = results.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload + "\n")
+            if not args.quiet:
+                print(f"wrote {path}")
+    return 0
+
+
+def _apply_run_flags(study: Study, args) -> Study:
+    """Apply the shared execution flags; None means 'flag not given'
+    (the study keeps whatever it already has — its own defaults, or a
+    spec file's choices)."""
+    if args.backend is not None:
+        study = study.backend(args.backend)
+    if args.workers is not None:
+        study = study.workers(args.workers)
+    if args.cache_dir is not None:
+        study = study.cache(args.cache_dir)
+    return study
+
+
+def _cmd_sweep(args) -> int:
+    if args.smoke:
+        study = Study.from_spec(SMOKE_SPEC)
+        title = "repro sweep --smoke (pinned CI grid)"
+    else:
+        grid = ScenarioGrid(
+            systems=tuple(args.systems),
+            specs=tuple(args.specs),
+            world_sizes=tuple(args.world_sizes),
+            batches=tuple(args.batches),
+            ns=tuple(_parse_optional(n, int) for n in args.ns),
+            strategies=tuple(_parse_optional(s, str) for s in args.strategies),
+            stragglers=tuple(_parse_optional(s, str) for s in args.stragglers),
+            severities=tuple(args.severities),
+        )
+        study = Study(grid, objective=args.objective)
+        title = f"repro sweep ({len(grid)} scenarios)"
+    return _finish(_apply_run_flags(study, args), args, title)
+
+
+def _cmd_bench(args) -> int:
+    if args.list_benches or not args.name:
+        for name, spec in sorted(BENCH_SPECS.items()):
+            points = sum(len(ScenarioGrid(**axes)) for axes in spec["grids"])
+            print(f"{name:8s} {points:4d} scenarios")
+        return 0 if args.list_benches else 2
+    spec = BENCH_SPECS.get(args.name)
+    if spec is None:
+        print(
+            f"unknown bench {args.name!r}; available: "
+            f"{', '.join(sorted(BENCH_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    study = _apply_run_flags(Study.from_spec(spec), args)
+    return _finish(study, args, f"repro bench {args.name}")
+
+
+def _cmd_study(args) -> int:
+    path = Path(args.spec)
+    try:
+        spec = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"cannot read study spec {path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"study spec {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    # Flags given explicitly override the spec's execution options —
+    # including back to the defaults (`--backend serial --workers 1`).
+    study = _apply_run_flags(Study.from_spec(spec), args)
+    return _finish(study, args, f"repro study {path.name}")
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
+        "study": _cmd_study,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ValueError, TypeError) as exc:
+        # Eager API validation (unknown axes/backends/objectives/...)
+        # becomes a clean CLI failure instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

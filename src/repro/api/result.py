@@ -1,0 +1,285 @@
+"""Typed result wrappers for the public API, absorbing sweep analysis.
+
+:class:`StudyResult` is one evaluated scenario; :class:`ResultSet` is an
+ordered, immutable collection of them with first-class accessors —
+``.pareto()``, ``.table()``, ``.group_by()``, ``.to_json()``,
+``.cache_stats()`` — replacing the module-level helpers that used to
+live in ``repro.sweep.analysis`` (which remains as a deprecation shim).
+
+The module-level functions (:func:`pareto_front`, :func:`sweep_table`,
+:func:`group_by`) are the relocated implementations and still operate on
+any iterable of :class:`~repro.sweep.runner.SweepResult`, so legacy call
+sites keep working unchanged through ``repro.sweep``.
+
+JSON contract: :meth:`ResultSet.to_json` is deterministic — scenario
+order, sorted keys, and (by default) only the *physical* values.  The
+per-run evaluator-cache deltas depend on worker scheduling, so they are
+opt-in (``include_cache_stats=True``); this is what makes the same study
+byte-identical across the serial/thread/process/asyncio backends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.sweep.runner import SweepResult
+from repro.utils import Table
+
+Getter = Callable[[SweepResult], Any]
+
+
+def _getter(column: str | Getter) -> Getter:
+    """Resolve a column spec: callables pass through; strings look up the
+    result values first, then scenario fields, then ``label``."""
+    if callable(column):
+        return column
+
+    def get(result: SweepResult):
+        if column in result.values:
+            return result.values[column]
+        if column == "label":
+            return result.scenario.label()
+        if hasattr(result.scenario, column):
+            return getattr(result.scenario, column)
+        raise KeyError(
+            f"column {column!r} is neither a result value nor a scenario field"
+        )
+
+    return get
+
+
+def sweep_table(
+    results: Iterable[SweepResult],
+    columns: Sequence[str | tuple[str, str | Getter]],
+    title: str | None = None,
+) -> Table:
+    """Render results as a :class:`~repro.utils.Table`.
+
+    ``columns`` entries are either a column spec (used as both header and
+    accessor) or an explicit ``(header, spec)`` pair.
+    """
+    headers: list[str] = []
+    getters: list[Getter] = []
+    for col in columns:
+        if isinstance(col, tuple):
+            header, spec = col
+        else:
+            header, spec = str(col), col
+        headers.append(header)
+        getters.append(_getter(spec))
+    table = Table(headers, title=title)
+    for result in results:
+        table.add_row([get(result) for get in getters])
+    return table
+
+
+def group_by(
+    results: Iterable[SweepResult], column: str | Getter
+) -> dict[Any, list[SweepResult]]:
+    """Bucket results by a scenario field or value column."""
+    get = _getter(column)
+    groups: dict[Any, list[SweepResult]] = {}
+    for result in results:
+        groups.setdefault(get(result), []).append(result)
+    return groups
+
+
+def pareto_front(
+    results: Sequence[SweepResult],
+    x: str | Getter = "iteration_time",
+    y: str | Getter = "peak_memory_bytes",
+) -> list[SweepResult]:
+    """Non-dominated subset minimizing both ``x`` and ``y`` (Fig. 11).
+
+    A point is dominated when another point is no worse on both axes and
+    strictly better on at least one.  Duplicated coordinates survive
+    together (neither strictly improves on the other).  The front comes
+    back sorted by ``x``.
+    """
+    get_x, get_y = _getter(x), _getter(y)
+    points = [(get_x(r), get_y(r), r) for r in results]
+    front = [
+        (px, py, r)
+        for px, py, r in points
+        if not any(
+            (qx <= px and qy <= py) and (qx < px or qy < py)
+            for qx, qy, _ in points
+        )
+    ]
+    front.sort(key=lambda item: (item[0], item[1]))
+    return [r for _, _, r in front]
+
+
+class StudyResult(SweepResult):
+    """One evaluated scenario, with the public-API conveniences.
+
+    A frozen value object: everything :class:`~repro.sweep.runner
+    .SweepResult` carries, plus ``label``, column access via
+    :meth:`get`, and a deterministic :meth:`to_dict` for JSON export.
+    """
+
+    @classmethod
+    def of(cls, result: SweepResult) -> "StudyResult":
+        if isinstance(result, cls):
+            return result
+        return cls(
+            scenario=result.scenario,
+            values=result.values,
+            cached=result.cached,
+            cache_stats=result.cache_stats,
+        )
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label()
+
+    def get(self, column: str | Getter):
+        """Resolve ``column`` like a table would: values, then scenario
+        fields, then ``label``; callables receive the result."""
+        return _getter(column)(self)
+
+    def to_dict(self, *, include_cache_stats: bool = False) -> dict:
+        payload = {
+            "scenario": asdict(self.scenario),
+            "label": self.label,
+            "values": dict(self.values),
+        }
+        if include_cache_stats:
+            payload["cached"] = self.cached
+            payload["cache_stats"] = self.cache_stats
+        return payload
+
+
+class ResultSet(Sequence):
+    """Ordered, immutable collection of :class:`StudyResult`.
+
+    Wraps what a study run returns; slicing yields another
+    :class:`ResultSet`, so positional post-processing of concatenated
+    grids (``results[:len(first_grid)]``) keeps the accessors.
+    """
+
+    def __init__(self, results: Iterable[SweepResult] = ()) -> None:
+        self._results: tuple[StudyResult, ...] = tuple(
+            StudyResult.of(r) for r in results
+        )
+
+    # -- sequence protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[StudyResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._results[index])
+        return self._results[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultSet):
+            return self._results == other._results
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._results)} results)"
+
+    # -- accessors -------------------------------------------------------------
+    def scenarios(self) -> list:
+        """The evaluated scenarios, in result order (grid-compatible)."""
+        return [r.scenario for r in self._results]
+
+    def column(self, column: str | Getter) -> list:
+        """One column of values across all results."""
+        get = _getter(column)
+        return [get(r) for r in self._results]
+
+    def table(
+        self,
+        columns: Sequence[str | tuple[str, str | Getter]] | None = None,
+        title: str | None = None,
+    ) -> Table:
+        """Render as a :class:`~repro.utils.Table`.
+
+        Default columns: ``label`` plus every value key of the first
+        result, in evaluator order.
+        """
+        if columns is None:
+            first = self._results[0].values if self._results else {}
+            columns = ["label", *first.keys()]
+        return sweep_table(self._results, columns, title=title)
+
+    def group_by(self, column: str | Getter) -> dict[Any, "ResultSet"]:
+        """Bucket into per-key :class:`ResultSet` groups."""
+        return {
+            key: ResultSet(group)
+            for key, group in group_by(self._results, column).items()
+        }
+
+    def pareto(
+        self,
+        x: str | Getter = "iteration_time",
+        y: str | Getter = "peak_memory_bytes",
+    ) -> "ResultSet":
+        """The non-dominated (x, y) frontier, both axes minimized."""
+        return ResultSet(pareto_front(self._results, x, y))
+
+    def best(self, column: str | Getter = "iteration_time") -> StudyResult:
+        """The result minimizing ``column``."""
+        if not self._results:
+            raise ValueError("empty ResultSet has no best result")
+        get = _getter(column)
+        return min(self._results, key=get)
+
+    def cache_stats(self) -> dict:
+        """Aggregate cache efficacy over the whole set.
+
+        ``disk_hits`` counts scenarios answered from the on-disk JSON
+        cache; the evaluator counters sum the per-scenario memo deltas
+        of every result that reported them.
+        """
+        stats = {
+            "scenarios": len(self._results),
+            "disk_hits": sum(r.cached for r in self._results),
+            "evaluator_hits": 0,
+            "evaluator_misses": 0,
+            "reported": 0,
+        }
+        for result in self._results:
+            delta = result.cache_stats
+            if delta is None:
+                continue
+            stats["reported"] += 1
+            stats["evaluator_hits"] += delta.get("hits", 0)
+            stats["evaluator_misses"] += delta.get("misses", 0)
+        return stats
+
+    # -- export ----------------------------------------------------------------
+    def to_json(
+        self, *, indent: int | None = 1, include_cache_stats: bool = False
+    ) -> str:
+        """Deterministic JSON: scenario order, sorted keys, physical
+        values only unless ``include_cache_stats=True`` (per-run memo
+        deltas vary with worker scheduling; the values never do)."""
+        payload = [
+            r.to_dict(include_cache_stats=include_cache_stats)
+            for r in self._results
+        ]
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def save_json(
+        self,
+        path: str | os.PathLike,
+        *,
+        indent: int | None = 1,
+        include_cache_stats: bool = False,
+    ) -> None:
+        with open(path, "w") as fh:
+            fh.write(
+                self.to_json(
+                    indent=indent, include_cache_stats=include_cache_stats
+                )
+            )
+            fh.write("\n")

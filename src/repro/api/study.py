@@ -1,0 +1,291 @@
+"""The :class:`Study` builder — one declarative object per experiment.
+
+A study composes four things the internals used to take as scattered
+kwargs: *what* to evaluate (a :class:`~repro.sweep.grid.ScenarioGrid`,
+a :class:`~repro.sweep.grid.ScenarioList`, or any iterable of
+scenarios), *how* to price each point (an objective — ``"system"``,
+``"timeline"``, or a user callable), *where* it runs (an execution
+backend from :mod:`repro.api.backends` plus a worker count), and the
+caching policy (on-disk scenario cache, evaluator-memo bound).
+
+Builders are immutable: every fluent call returns a new study, so one
+base study can fan out over backends or clusters without aliasing::
+
+    from repro.api import Study, ScenarioGrid
+
+    grid = ScenarioGrid(systems=("pipemoe", "mpipemoe"),
+                        batches=(8192, 16384, 32768))
+    base = Study(grid).cache(".sweep_cache")
+    fast = base.backend("thread").workers(4).run()
+    skewed = base.cluster("single-slow-gpu", severity=0.5).run()
+    print(fast.table())
+
+Studies serialize: :meth:`Study.describe` emits a JSON-able spec and
+:meth:`Study.from_spec` rebuilds one — the contract the
+``python -m repro study`` CLI runs on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable
+
+from repro.api.backends import Backend, get_backend
+from repro.api.result import ResultSet
+from repro.sweep.grid import (
+    AXIS_FIELDS,
+    Scenario,
+    ScenarioGrid,
+    ScenarioList,
+    as_scenarios,
+)
+from repro.sweep.runner import (
+    SweepRunner,
+    evaluate_system,
+    evaluate_timeline,
+)
+
+#: Named objectives selectable by string (and over the CLI).
+OBJECTIVES: dict[str, Callable[[Scenario], dict]] = {
+    "system": evaluate_system,
+    "timeline": evaluate_timeline,
+}
+
+
+def _resolve_objective(objective) -> Callable[[Scenario], dict]:
+    if callable(objective):
+        return objective
+    fn = OBJECTIVES.get(objective)
+    if fn is None:
+        raise ValueError(
+            f"unknown objective {objective!r}; named objectives: "
+            f"{', '.join(sorted(OBJECTIVES))} (or pass a callable)"
+        )
+    return fn
+
+
+class Study:
+    """Declarative, immutable experiment description with a fluent API."""
+
+    def __init__(
+        self,
+        grid=None,
+        *,
+        objective="system",
+        backend: "str | Backend" = "serial",
+        workers: int = 1,
+        cache_dir=None,
+        evaluator_max_entries: int | None = None,
+    ) -> None:
+        self._scenarios: list[Scenario] = [] if grid is None else as_scenarios(grid)
+        self._objective = objective
+        _resolve_objective(objective)  # eager validation
+        self._backend = backend
+        get_backend(backend)  # eager validation
+        self._workers = int(workers)
+        if self._workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._cache_dir = cache_dir
+        self._max_entries = evaluator_max_entries
+        self._overlay: dict = {}
+
+    # -- fluent builders (copy-on-write) ---------------------------------------
+    def _clone(self, **changes) -> "Study":
+        study = Study.__new__(Study)
+        study._scenarios = list(self._scenarios)
+        study._objective = self._objective
+        study._backend = self._backend
+        study._workers = self._workers
+        study._cache_dir = self._cache_dir
+        study._max_entries = self._max_entries
+        study._overlay = dict(self._overlay)
+        for key, value in changes.items():
+            setattr(study, key, value)
+        return study
+
+    def grid(self, *grids) -> "Study":
+        """Append one or more grids / scenario iterables to the study."""
+        extra: list[Scenario] = []
+        for grid in grids:
+            extra.extend(as_scenarios(grid))
+        return self._clone(_scenarios=self._scenarios + extra)
+
+    def objective(self, objective) -> "Study":
+        """``"system"``, ``"timeline"``, or a ``Scenario -> dict`` callable
+        (module-level, if the study runs on the process backend)."""
+        _resolve_objective(objective)
+        return self._clone(_objective=objective)
+
+    def backend(self, backend: "str | Backend") -> "Study":
+        """Select the execution backend by registry name or instance."""
+        get_backend(backend)
+        return self._clone(_backend=backend)
+
+    def workers(self, workers: int) -> "Study":
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return self._clone(_workers=int(workers))
+
+    def cache(self, cache_dir) -> "Study":
+        """Cache completed scenarios as JSON under ``cache_dir``."""
+        return self._clone(_cache_dir=cache_dir)
+
+    def limit_memo(self, max_entries: int | None) -> "Study":
+        """Bound every shared evaluator memo (LRU) for oversized grids."""
+        return self._clone(_max_entries=max_entries)
+
+    def where(self, **fields) -> "Study":
+        """Overlay scenario fields onto every point (applied at run time).
+
+        Unknown field names fail eagerly with the valid spellings.
+        """
+        valid = set(AXIS_FIELDS.values())
+        unknown = sorted(set(fields) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {unknown}; valid fields: "
+                f"{', '.join(sorted(valid))}"
+            )
+        return self._clone(_overlay={**self._overlay, **fields})
+
+    def cluster(
+        self,
+        straggler: str | None,
+        *,
+        severity: float | None = None,
+        seed: int = 0,
+    ) -> "Study":
+        """Evaluate every point on a straggler cluster (hetero spec).
+
+        Sugar over :meth:`where` for the heterogeneous axes: the named
+        straggler kind, its severity (victim rate multiplier), and the
+        jitter seed.  ``straggler=None`` restores the homogeneous
+        cluster.  A named kind requires an explicit ``severity`` —
+        defaulting to 1.0 would make ``cluster("slow-node")`` a silent
+        no-op whose results are mislabeled (and cached) as straggler
+        runs.
+        """
+        if straggler is None:
+            if severity not in (None, 1.0) or seed != 0:
+                raise ValueError(
+                    "cluster(None) restores the homogeneous cluster; "
+                    "severity/seed have no effect without a straggler kind"
+                )
+            return self.where(straggler=None, severity=1.0, straggler_seed=0)
+        if severity is None:
+            raise ValueError(
+                f"cluster({straggler!r}) needs an explicit severity "
+                f"(the victim's rate multiplier, e.g. severity=0.5; "
+                f"severity=1.0 is the healthy baseline)"
+            )
+        return self.where(
+            straggler=straggler, severity=severity, straggler_seed=seed
+        )
+
+    # -- inspection ------------------------------------------------------------
+    def scenarios(self) -> ScenarioList:
+        """The fully-resolved scenario list (overlay applied)."""
+        if not self._overlay:
+            return ScenarioList(self._scenarios)
+        return ScenarioList(
+            dataclasses.replace(sc, **self._overlay) for sc in self._scenarios
+        )
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def describe(self) -> dict:
+        """JSON-able spec of this study (round-trips via :meth:`from_spec`
+        when the objective is named and the backend is registered)."""
+        objective = (
+            self._objective
+            if isinstance(self._objective, str)
+            else getattr(self._objective, "__qualname__", repr(self._objective))
+        )
+        backend = (
+            self._backend
+            if isinstance(self._backend, str)
+            else self._backend.name
+        )
+        return {
+            "scenarios": [dataclasses.asdict(sc) for sc in self.scenarios()],
+            "objective": objective,
+            "backend": backend,
+            "workers": self._workers,
+            "cache_dir": None if self._cache_dir is None else str(self._cache_dir),
+            "evaluator_max_entries": self._max_entries,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Study":
+        """Build a study from a declarative dict (the CLI's file format).
+
+        Recognized keys: ``grids`` (list of axis dicts, each a
+        :class:`ScenarioGrid`), ``scenarios`` (list of scenario field
+        dicts), ``objective``, ``backend``, ``workers``, ``cache_dir``,
+        ``evaluator_max_entries``, ``cluster`` (dict of
+        straggler/severity/seed).
+        """
+        if not isinstance(spec, dict):
+            raise TypeError(f"study spec must be a dict, got {type(spec).__name__}")
+        known = {
+            "grids", "scenarios", "objective", "backend", "workers",
+            "cache_dir", "evaluator_max_entries", "cluster",
+        }
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown study spec key(s) {unknown}; valid keys: "
+                f"{', '.join(sorted(known))}"
+            )
+        points: list[Scenario] = []
+        for axes in spec.get("grids", ()):
+            points.extend(ScenarioGrid(**axes).scenarios())
+        for fields in spec.get("scenarios", ()):
+            points.append(Scenario(**fields))
+        study = cls(
+            points,
+            objective=spec.get("objective", "system"),
+            backend=spec.get("backend", "serial"),
+            workers=spec.get("workers", 1),
+            cache_dir=spec.get("cache_dir"),
+            evaluator_max_entries=spec.get("evaluator_max_entries"),
+        )
+        cluster = spec.get("cluster")
+        if cluster:
+            study = study.cluster(
+                cluster.get("straggler"),
+                severity=cluster.get("severity"),
+                seed=cluster.get("seed", 0),
+            )
+        return study
+
+    def __repr__(self) -> str:
+        backend = (
+            self._backend if isinstance(self._backend, str) else self._backend.name
+        )
+        objective = (
+            self._objective
+            if isinstance(self._objective, str)
+            else getattr(self._objective, "__qualname__", "<callable>")
+        )
+        return (
+            f"Study({len(self._scenarios)} scenarios, objective={objective!r}, "
+            f"backend={backend!r}, workers={self._workers})"
+        )
+
+    # -- execution -------------------------------------------------------------
+    def runner(self) -> SweepRunner:
+        """The configured :class:`~repro.sweep.runner.SweepRunner` this
+        study executes on (exposed for introspection and reuse)."""
+        return SweepRunner(
+            _resolve_objective(self._objective),
+            cache_dir=self._cache_dir,
+            workers=self._workers,
+            backend=self._backend,
+            evaluator_max_entries=self._max_entries,
+        )
+
+    def run(self) -> ResultSet:
+        """Evaluate every scenario; results come back in scenario order."""
+        return ResultSet(self.runner().run(self.scenarios()))

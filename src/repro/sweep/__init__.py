@@ -1,22 +1,36 @@
-"""Scenario sweep subsystem: declarative grids, parallel cached runs,
-and result post-processing.
+"""Scenario sweep subsystem: declarative grids and parallel cached runs.
 
-Quickstart::
+This is the engine room under the public :mod:`repro.api` facade —
+prefer ``Study``/``ResultSet`` for new code::
 
-    from repro.sweep import ScenarioGrid, SweepRunner, pareto_front, sweep_table
+    from repro.api import Study, ScenarioGrid
 
     grid = ScenarioGrid(
         systems=("fastmoe", "pipemoe", "mpipemoe"),
         world_sizes=(16, 64),
         batches=(8192, 16384),
     )
-    runner = SweepRunner(cache_dir=".sweep_cache", workers=4)
-    results = runner.run(grid)
-    print(sweep_table(results, ["label", "iteration_time", "peak_memory_bytes"]))
-    best = pareto_front(results)  # Fig. 11-style memory/time frontier
+    results = Study(grid).cache(".sweep_cache").workers(4).run()
+    print(results.table())
+    best = results.pareto()  # Fig. 11-style memory/time frontier
+
+The legacy surface (``SweepRunner``, the module-level evaluators, and
+the analysis helpers) remains fully supported; ``SweepRunner`` executes
+on the same :mod:`repro.api.backends` registry the facade uses.  The
+analysis helpers (``pareto_front``/``sweep_table``/``group_by``) now
+live in :mod:`repro.api.result` and resolve lazily here;
+``repro.sweep.analysis`` is a deprecation shim.
 """
 
-from repro.sweep.grid import BACKEND_NAMES, Scenario, ScenarioGrid, SYSTEM_NAMES
+from repro.sweep.grid import (
+    AXIS_FIELDS,
+    BACKEND_NAMES,
+    Scenario,
+    ScenarioGrid,
+    ScenarioList,
+    SYSTEM_NAMES,
+    as_scenarios,
+)
 from repro.sweep.runner import (
     SweepResult,
     SweepRunner,
@@ -25,15 +39,17 @@ from repro.sweep.runner import (
     scenario_hetero,
     shared_context,
 )
-from repro.sweep.analysis import group_by, pareto_front, sweep_table
 
 __all__ = [
+    "AXIS_FIELDS",
     "BACKEND_NAMES",
     "SYSTEM_NAMES",
     "Scenario",
     "ScenarioGrid",
+    "ScenarioList",
     "SweepResult",
     "SweepRunner",
+    "as_scenarios",
     "evaluate_system",
     "evaluate_timeline",
     "scenario_hetero",
@@ -42,3 +58,22 @@ __all__ = [
     "pareto_front",
     "sweep_table",
 ]
+
+#: Relocated to repro.api.result (PR 4); resolved lazily so importing
+#: repro.sweep never pulls the facade in (and emits no deprecation
+#: warning — these aliases are supported, unlike repro.sweep.analysis).
+_RELOCATED = ("group_by", "pareto_front", "sweep_table")
+
+
+def __getattr__(name: str):
+    if name in _RELOCATED:
+        from repro.api import result as _result
+
+        value = getattr(_result, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module 'repro.sweep' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_RELOCATED))

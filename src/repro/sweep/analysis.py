@@ -1,97 +1,27 @@
-"""Post-processing of sweep results: tables, grouping, Pareto fronts.
+"""Deprecated shim — the analysis helpers moved to :mod:`repro.api`.
 
-The Pareto helper reproduces the Fig. 11 reading of the evaluation: each
-system lands at a (memory, time) coordinate and the interesting set is
-the non-dominated frontier closest to the origin (both axes minimized).
+The implementations live in :mod:`repro.api.result`, where they also
+back the :class:`~repro.api.ResultSet` accessors (``.pareto()``,
+``.table()``, ``.group_by()``).  ``from repro.sweep import
+pareto_front`` remains a supported alias (no warning); importing *this*
+module directly warns once and will eventually stop working.
 """
 
-from __future__ import annotations
+import warnings
 
-from typing import Any, Callable, Iterable, Sequence
+from repro.api.result import (  # noqa: F401  (re-exports)
+    Getter,
+    group_by,
+    pareto_front,
+    sweep_table,
+)
 
-from repro.sweep.runner import SweepResult
-from repro.utils import Table
+warnings.warn(
+    "repro.sweep.analysis is deprecated; use repro.api "
+    "(ResultSet.pareto/.table/.group_by, or repro.api.pareto_front / "
+    "sweep_table / group_by)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-Getter = Callable[[SweepResult], Any]
-
-
-def _getter(column: str | Getter) -> Getter:
-    """Resolve a column spec: callables pass through; strings look up the
-    result values first, then scenario fields, then ``label``."""
-    if callable(column):
-        return column
-
-    def get(result: SweepResult):
-        if column in result.values:
-            return result.values[column]
-        if column == "label":
-            return result.scenario.label()
-        if hasattr(result.scenario, column):
-            return getattr(result.scenario, column)
-        raise KeyError(
-            f"column {column!r} is neither a result value nor a scenario field"
-        )
-
-    return get
-
-
-def sweep_table(
-    results: Iterable[SweepResult],
-    columns: Sequence[str | tuple[str, str | Getter]],
-    title: str | None = None,
-) -> Table:
-    """Render results as a :class:`~repro.utils.Table`.
-
-    ``columns`` entries are either a column spec (used as both header and
-    accessor) or an explicit ``(header, spec)`` pair.
-    """
-    headers: list[str] = []
-    getters: list[Getter] = []
-    for col in columns:
-        if isinstance(col, tuple):
-            header, spec = col
-        else:
-            header, spec = str(col), col
-        headers.append(header)
-        getters.append(_getter(spec))
-    table = Table(headers, title=title)
-    for result in results:
-        table.add_row([get(result) for get in getters])
-    return table
-
-
-def group_by(
-    results: Iterable[SweepResult], column: str | Getter
-) -> dict[Any, list[SweepResult]]:
-    """Bucket results by a scenario field or value column."""
-    get = _getter(column)
-    groups: dict[Any, list[SweepResult]] = {}
-    for result in results:
-        groups.setdefault(get(result), []).append(result)
-    return groups
-
-
-def pareto_front(
-    results: Sequence[SweepResult],
-    x: str | Getter = "iteration_time",
-    y: str | Getter = "peak_memory_bytes",
-) -> list[SweepResult]:
-    """Non-dominated subset minimizing both ``x`` and ``y`` (Fig. 11).
-
-    A point is dominated when another point is no worse on both axes and
-    strictly better on at least one.  Duplicated coordinates survive
-    together (neither strictly improves on the other).  The front comes
-    back sorted by ``x``.
-    """
-    get_x, get_y = _getter(x), _getter(y)
-    points = [(get_x(r), get_y(r), r) for r in results]
-    front = [
-        (px, py, r)
-        for px, py, r in points
-        if not any(
-            (qx <= px and qy <= py) and (qx < px or qy < py)
-            for qx, qy, _ in points
-        )
-    ]
-    front.sort(key=lambda item: (item[0], item[1]))
-    return [r for _, _, r in front]
+__all__ = ["group_by", "pareto_front", "sweep_table"]

@@ -19,6 +19,7 @@ stale hits.
 
 from __future__ import annotations
 
+import difflib
 import hashlib
 import itertools
 import json
@@ -90,6 +91,22 @@ class Scenario:
             raise ValueError("severity must be in (0, 1]")
         if self.straggler_seed < 0:
             raise ValueError("straggler_seed must be >= 0")
+        # Knobs the evaluation would silently ignore must fail loudly, or
+        # a grid crossing them caches identical values under distinct
+        # keys: severity is meaningless without a straggler victim (the
+        # 'uniform' kind ignores it too), and only 'random-jitter' draws
+        # from the seed.
+        if self.severity != 1.0 and self.straggler in (None, "uniform"):
+            raise ValueError(
+                f"severity={self.severity} has no effect with "
+                f"straggler={self.straggler!r}; pick a straggler kind that "
+                f"has a victim (e.g. 'single-slow-gpu')"
+            )
+        if self.straggler_seed != 0 and self.straggler != "random-jitter":
+            raise ValueError(
+                f"straggler_seed={self.straggler_seed} only applies to "
+                f"straggler='random-jitter', not {self.straggler!r}"
+            )
         if self.num_experts is not None and self.num_experts < 1:
             raise ValueError("num_experts must be >= 1 (or None for the preset's)")
         if self.capacity_factor is not None and self.capacity_factor <= 0:
@@ -126,6 +143,40 @@ class Scenario:
         return "/".join(parts)
 
 
+#: Grid axis name -> the :class:`Scenario` field it populates, in the
+#: fixed iteration order of the cartesian product.
+AXIS_FIELDS: dict[str, str] = {
+    "systems": "system",
+    "specs": "spec",
+    "world_sizes": "world_size",
+    "batches": "batch",
+    "ns": "n",
+    "strategies": "strategy",
+    "decomposed": "decomposed_comm",
+    "sequential": "sequential",
+    "stragglers": "straggler",
+    "severities": "severity",
+    "straggler_seeds": "straggler_seed",
+    "num_experts": "num_experts",
+    "capacity_factors": "capacity_factor",
+}
+
+
+def _check_axis(name: str, values) -> tuple:
+    """Reject the two silent-footgun axis spellings eagerly.
+
+    A bare string (``specs="GPT-XL"``) would fan out over its characters
+    and a bare scalar (``batches=4096``) would fail deep inside
+    ``itertools.product`` — both far from the typo that caused them.
+    """
+    if isinstance(values, str) or not isinstance(values, Iterable):
+        raise ValueError(
+            f"grid axis {name!r} must be a sequence of values, got "
+            f"{type(values).__name__} — write {name}=({values!r},)"
+        )
+    return tuple(values)
+
+
 class ScenarioGrid:
     """Cartesian product over scenario axes.
 
@@ -133,7 +184,10 @@ class ScenarioGrid:
     decomposed, sequential, straggler, severity, straggler_seed,
     num_experts, capacity_factor) so iteration order — and therefore
     sweep result order — is deterministic.  ``grid_a + grid_b``
-    concatenates scenario lists for non-rectangular studies.
+    concatenates into a :class:`ScenarioList` (grid-compatible:
+    ``scenarios()``/``len``/``+`` keep chaining) for non-rectangular
+    studies.  Unknown axis names fail eagerly with the valid spellings —
+    not as a confusing downstream failure.
     """
 
     def __init__(
@@ -151,21 +205,35 @@ class ScenarioGrid:
         straggler_seeds: Sequence[int] = (0,),
         num_experts: Sequence[int | None] = (None,),
         capacity_factors: Sequence[float | None] = (None,),
+        **unknown_axes,
     ) -> None:
+        if unknown_axes:
+            hints = []
+            for name in sorted(unknown_axes):
+                close = difflib.get_close_matches(name, AXIS_FIELDS, n=1)
+                if close:
+                    hints.append(f"did you mean {close[0]!r} for {name!r}?")
+            detail = f" ({' '.join(hints)})" if hints else ""
+            raise ValueError(
+                f"unknown grid axis(es) {sorted(unknown_axes)}; valid axes "
+                f"(scenario field): "
+                + ", ".join(f"{a} ({f})" for a, f in AXIS_FIELDS.items())
+                + detail
+            )
         self.axes = (
-            tuple(systems),
-            tuple(specs),
-            tuple(world_sizes),
-            tuple(batches),
-            tuple(ns),
-            tuple(strategies),
-            tuple(decomposed),
-            tuple(sequential),
-            tuple(stragglers),
-            tuple(severities),
-            tuple(straggler_seeds),
-            tuple(num_experts),
-            tuple(capacity_factors),
+            _check_axis("systems", systems),
+            _check_axis("specs", specs),
+            _check_axis("world_sizes", world_sizes),
+            _check_axis("batches", batches),
+            _check_axis("ns", ns),
+            _check_axis("strategies", strategies),
+            _check_axis("decomposed", decomposed),
+            _check_axis("sequential", sequential),
+            _check_axis("stragglers", stragglers),
+            _check_axis("severities", severities),
+            _check_axis("straggler_seeds", straggler_seeds),
+            _check_axis("num_experts", num_experts),
+            _check_axis("capacity_factors", capacity_factors),
         )
         if any(not axis for axis in self.axes):
             raise ValueError("every grid axis needs at least one value")
@@ -191,8 +259,75 @@ class ScenarioGrid:
             total *= len(axis)
         return total
 
-    def __add__(self, other: "ScenarioGrid | Iterable[Scenario]") -> list[Scenario]:
-        return self.scenarios() + list(other)
+    def __add__(self, other: "GridLike") -> "ScenarioList":
+        return ScenarioList(self.scenarios() + as_scenarios(other))
 
-    def __radd__(self, other: Iterable[Scenario]) -> list[Scenario]:
-        return list(other) + self.scenarios()
+    def __radd__(self, other: "GridLike") -> "ScenarioList":
+        return ScenarioList(as_scenarios(other) + self.scenarios())
+
+
+class ScenarioList:
+    """A grid-compatible, ordered collection of scenarios.
+
+    This is what grid concatenation (``grid_a + grid_b``) returns: unlike
+    the plain ``list`` it used to degrade to, it keeps the
+    :class:`ScenarioGrid` surface — ``scenarios()``, ``len``, iteration,
+    slicing, and further ``+`` chaining against grids, other lists, or
+    any iterable of :class:`Scenario`.
+    """
+
+    def __init__(self, scenarios: "GridLike" = ()) -> None:
+        self._scenarios = as_scenarios(scenarios)
+
+    def scenarios(self) -> list[Scenario]:
+        return list(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ScenarioList(self._scenarios[index])
+        return self._scenarios[index]
+
+    def __add__(self, other: "GridLike") -> "ScenarioList":
+        return ScenarioList(self._scenarios + as_scenarios(other))
+
+    def __radd__(self, other: "GridLike") -> "ScenarioList":
+        return ScenarioList(as_scenarios(other) + self._scenarios)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (ScenarioList, ScenarioGrid)):
+            return self._scenarios == other.scenarios()
+        if isinstance(other, list):
+            return self._scenarios == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ScenarioList({len(self._scenarios)} scenarios)"
+
+
+GridLike = "ScenarioGrid | ScenarioList | Scenario | Iterable[Scenario]"
+
+
+def as_scenarios(obj) -> list[Scenario]:
+    """Normalize anything grid-shaped into a list of scenarios.
+
+    Accepts grids and scenario lists (via their ``scenarios()``), a bare
+    :class:`Scenario`, or any iterable of scenarios; anything else fails
+    loudly rather than riding silently into a sweep.
+    """
+    if isinstance(obj, Scenario):
+        return [obj]
+    if hasattr(obj, "scenarios") and callable(obj.scenarios):
+        obj = obj.scenarios()
+    items = list(obj)
+    for item in items:
+        if not isinstance(item, Scenario):
+            raise TypeError(
+                f"expected Scenario items, got {type(item).__name__}: {item!r}"
+            )
+    return items

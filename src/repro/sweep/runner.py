@@ -1,9 +1,12 @@
-"""Scenario fan-out with process/thread parallelism and result caching.
+"""Scenario fan-out over pluggable execution backends, with caching.
 
 :class:`SweepRunner` takes any iterable of :class:`Scenario` (usually a
 :class:`ScenarioGrid`), evaluates each point with a module-level
-evaluator function, and returns :class:`SweepResult` objects in scenario
-order regardless of worker count or backend.  Completed points are
+evaluator function through a backend from the
+:mod:`repro.api.backends` registry (serial / thread / process /
+asyncio, or any registered third-party backend), and returns
+:class:`SweepResult` objects in scenario order regardless of worker
+count or backend.  Completed points are
 cached as JSON files keyed by the scenario hash, so re-running a study —
 or extending its grid — only pays for the new points.
 
@@ -40,11 +43,11 @@ import math
 import os
 import tempfile
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.api.backends import Backend, get_backend
 from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
 from repro.sweep.grid import Scenario, ScenarioGrid
@@ -270,14 +273,20 @@ class SweepResult:
 class SweepRunner:
     """Fan scenarios out over workers with per-scenario JSON caching.
 
-    ``backend="process"`` (default) isolates workers in subprocesses;
-    ``backend="thread"`` runs them in threads sharing this process's
+    Execution delegates to the :mod:`repro.api.backends` registry:
+    ``backend`` is a registered name (``"serial"``, ``"thread"``,
+    ``"process"`` — the default — or ``"asyncio"``) or any
+    :class:`~repro.api.backends.Backend` instance.  ``process`` isolates
+    workers in subprocesses; ``thread`` (and ``asyncio`` driving plain
+    callables) runs them in threads sharing this process's
     :func:`shared_context` pool, so cheap makespan-only points reuse the
     in-process evaluator memo instead of paying process fan-out and a
     cold cache per worker.  Scenarios on the *same* context serialize on
     its lock (they would contend on the GIL regardless), which keeps the
     per-scenario cache stats exact; scenarios on different contexts run
-    concurrently.
+    concurrently.  Every backend degrades to the in-line serial loop at
+    ``workers=1``, and all of them return identical values in identical
+    order — only the scheduling differs.
 
     ``evaluator_max_entries`` bounds every shared context's memo (LRU)
     for grids too large to cache whole.  It is exported through the
@@ -291,21 +300,18 @@ class SweepRunner:
         evaluate: Evaluator = evaluate_system,
         cache_dir: str | os.PathLike | None = None,
         workers: int = 1,
-        backend: str = "process",
+        backend: "str | Backend" = "process",
         evaluator_max_entries: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if backend not in ("process", "thread"):
-            raise ValueError(
-                f"backend must be 'process' or 'thread', got {backend!r}"
-            )
+        self._backend = get_backend(backend)  # rejects unknown backend names
         if evaluator_max_entries is not None and evaluator_max_entries < 1:
             raise ValueError("evaluator_max_entries must be >= 1 (or None)")
         self.evaluate = evaluate
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
-        self.backend = backend
+        self.backend = backend if isinstance(backend, str) else self._backend.name
         self.evaluator_max_entries = evaluator_max_entries
         self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
 
@@ -353,8 +359,22 @@ class SweepRunner:
     # -- running ---------------------------------------------------------------
     def run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         """Evaluate all scenarios; results come back in scenario order."""
-        if self.evaluator_max_entries is not None:
-            os.environ[MAX_MEMO_ENTRIES_ENV] = str(self.evaluator_max_entries)
+        if self.evaluator_max_entries is None:
+            return self._run(scenarios)
+        # Export the memo bound only for the duration of the run (worker
+        # processes inherit the environment at fork): a leaked value
+        # would silently cap every later runner's "unbounded" contexts.
+        previous = os.environ.get(MAX_MEMO_ENTRIES_ENV)
+        os.environ[MAX_MEMO_ENTRIES_ENV] = str(self.evaluator_max_entries)
+        try:
+            return self._run(scenarios)
+        finally:
+            if previous is None:
+                os.environ.pop(MAX_MEMO_ENTRIES_ENV, None)
+            else:
+                os.environ[MAX_MEMO_ENTRIES_ENV] = previous
+
+    def _run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         points = list(scenarios)
 
         # Resolve cache hits and dedupe repeated points (a concatenated
@@ -376,16 +396,9 @@ class SweepRunner:
                 misses.append(sc)
 
         if misses:
-            if self.workers == 1:
-                computed = [self.evaluate(sc) for sc in misses]
-            else:
-                pool_cls = (
-                    ThreadPoolExecutor
-                    if self.backend == "thread"
-                    else ProcessPoolExecutor
-                )
-                with pool_cls(max_workers=self.workers) as pool:
-                    computed = list(pool.map(self.evaluate, misses))
+            computed = self._backend.map(
+                self.evaluate, misses, workers=self.workers
+            )
             for sc, vals in zip(misses, computed):
                 sc_stats = vals.pop(CACHE_STATS_KEY, None)
                 values[sc] = vals

@@ -1,0 +1,235 @@
+"""Execution-backend registry and cross-backend equivalence.
+
+The acceptance contract of the api_redesign PR: the same study run under
+``serial``, ``thread``, ``process`` and ``asyncio`` yields byte-identical
+ResultSet JSON and byte-identical cache files for a >= 50-scenario grid.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import Study
+from repro.api.backends import (
+    AsyncioBackend,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.sweep import Scenario, ScenarioGrid, shared_context
+from repro.sweep.runner import scenario_hetero
+
+ALL_BACKENDS = ("serial", "thread", "process", "asyncio")
+
+#: The acceptance grid: 4 batches x 3 granularities x 5 strategies = 60
+#: timeline points, all priced through the memoized makespan-only path.
+EQUIVALENCE_GRID = ScenarioGrid(
+    systems=("timeline",),
+    specs=("GPT-S",),
+    world_sizes=(8,),
+    batches=(1024, 2048, 4096, 8192),
+    ns=(1, 2, 4),
+    strategies=("none", "S1", "S2", "S3", "S4"),
+)
+
+
+# Module-level so the process backend can pickle them by qualified name.
+def square(x: int) -> int:
+    return x * x
+
+
+def pure_makespan(scenario: Scenario) -> dict:
+    """Deterministic real-pricing evaluator that reports no cache stats,
+    so its on-disk cache files must be byte-identical across backends
+    and worker layouts."""
+    from repro.config import get_preset
+
+    ctx = shared_context(scenario.world_size, scenario_hetero(scenario))
+    with ctx.sweep_lock:
+        makespan = ctx.evaluator.makespan(
+            get_preset(scenario.spec), scenario.batch, scenario.n,
+            scenario.strategy or "none",
+        )
+    return {"makespan": makespan}
+
+
+async def async_probe(scenario: Scenario) -> dict:
+    """A latency-bound (async-native) objective for the asyncio backend."""
+    await asyncio.sleep(0)
+    return {"metric": scenario.batch * (scenario.n or 1)}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_get_backend_by_name_and_instance(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+        assert isinstance(get_backend("asyncio"), AsyncioBackend)
+        instance = ThreadBackend()
+        assert get_backend(instance) is instance
+
+    def test_unknown_name_lists_registered_backends(self):
+        with pytest.raises(ValueError, match="unknown backend 'fiber'"):
+            get_backend("fiber")
+        with pytest.raises(ValueError, match="serial"):
+            get_backend("fiber")
+
+    def test_non_string_non_backend_rejected(self):
+        with pytest.raises(TypeError, match="Backend"):
+            get_backend(42)
+
+    def test_third_party_registration_and_overwrite(self):
+        class EchoBackend(Backend):
+            name = "echo-test"
+
+            def map(self, fn, items, *, workers=1):
+                return [fn(item) for item in items]
+
+        register_backend("echo-test", EchoBackend)
+        try:
+            assert "echo-test" in available_backends()
+            assert isinstance(get_backend("echo-test"), EchoBackend)
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("echo-test", EchoBackend)
+            register_backend("echo-test", EchoBackend, overwrite=True)
+        finally:
+            from repro.api import backends as mod
+
+            mod._REGISTRY.pop("echo-test", None)
+
+    def test_register_as_decorator(self):
+        from repro.api import backends as mod
+
+        @register_backend("decorated-test")
+        class DecoratedBackend(SerialBackend):
+            name = "decorated-test"
+
+        try:
+            assert isinstance(get_backend("decorated-test"), DecoratedBackend)
+        finally:
+            mod._REGISTRY.pop("decorated-test", None)
+
+
+class TestBackendMap:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_map_matches_serial_semantics(self, name, workers):
+        backend = get_backend(name)
+        items = list(range(7))
+        assert backend.map(square, items, workers=workers) == [
+            x * x for x in items
+        ]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_empty_items(self, name):
+        assert get_backend(name).map(square, [], workers=2) == []
+
+    def test_asyncio_backend_runs_native_coroutines(self):
+        backend = get_backend("asyncio")
+
+        async def double(x):
+            await asyncio.sleep(0)
+            return 2 * x
+
+        assert backend.map(double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+    def test_asyncio_backend_usable_from_a_running_loop(self):
+        """Inside a notebook or async app a loop is already running;
+        map() must not die on asyncio.run()'s reentrancy check."""
+        backend = get_backend("asyncio")
+
+        async def driver():
+            return backend.map(square, [1, 2, 3], workers=2)
+
+        assert asyncio.run(driver()) == [1, 4, 9]
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_sync_backends_reject_async_evaluators(self, name):
+        async def probe(x):
+            return x
+
+        with pytest.raises(TypeError, match="asyncio"):
+            get_backend(name).map(probe, [1], workers=2)
+
+
+class TestBackendEquivalence:
+    """The PR's acceptance criterion, pinned."""
+
+    def test_resultset_json_byte_identical_across_backends(self):
+        assert len(EQUIVALENCE_GRID) >= 50
+        study = Study(EQUIVALENCE_GRID, objective="timeline")
+        payloads = {
+            name: study.backend(name).workers(2).run().to_json()
+            for name in ALL_BACKENDS
+        }
+        reference = payloads["serial"]
+        assert "makespan" in reference
+        for name in ALL_BACKENDS:
+            assert payloads[name] == reference, name
+
+    def test_values_identical_across_backends(self):
+        study = Study(EQUIVALENCE_GRID, objective="timeline")
+        runs = {
+            name: study.backend(name).workers(2).run()
+            for name in ALL_BACKENDS
+        }
+        reference = runs["serial"]
+        for name, results in runs.items():
+            assert [r.scenario for r in results] == [
+                r.scenario for r in reference
+            ], name
+            assert [r.values for r in results] == [
+                r.values for r in reference
+            ], name
+
+    def test_cache_files_byte_identical_across_backends(self, tmp_path):
+        contents = {}
+        for name in ALL_BACKENDS:
+            cache = tmp_path / name
+            (
+                Study(EQUIVALENCE_GRID)
+                .objective(pure_makespan)
+                .backend(name)
+                .workers(2)
+                .cache(cache)
+                .run()
+            )
+            contents[name] = {
+                p.name: p.read_bytes() for p in sorted(cache.glob("*.json"))
+            }
+            assert len(contents[name]) == len(EQUIVALENCE_GRID), name
+        reference = contents["serial"]
+        for name in ALL_BACKENDS:
+            assert contents[name] == reference, name
+
+    def test_async_objective_through_the_study_facade(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(1024, 2048), ns=(1, 2),
+        )
+        results = (
+            Study(grid).objective(async_probe).backend("asyncio").workers(4).run()
+        )
+        assert [r["metric"] for r in results] == [
+            sc.batch * sc.n for sc in grid
+        ]
+
+    def test_sweeprunner_accepts_backend_instances(self):
+        from repro.sweep import SweepRunner
+
+        runner = SweepRunner(pure_makespan, backend=SerialBackend())
+        assert runner.backend == "serial"
+        (result,) = runner.run(
+            [Scenario(system="timeline", spec="GPT-S", world_size=8,
+                      batch=1024, n=2)]
+        )
+        assert result["makespan"] > 0

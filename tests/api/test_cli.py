@@ -1,0 +1,133 @@
+"""The ``python -m repro`` CLI, driven in-process through main()."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import BENCH_SPECS, SMOKE_SPEC, main
+from repro.api.study import Study
+
+
+def test_sweep_smoke_writes_the_json_artifact(tmp_path, capsys):
+    out = tmp_path / "artifacts" / "smoke.json"
+    assert main(["sweep", "--smoke", "--json", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "repro sweep --smoke" in captured
+    payload = json.loads(out.read_text())
+    assert len(payload) == len(Study.from_spec(SMOKE_SPEC))
+    assert all("makespan" in point["values"] for point in payload)
+
+
+def test_sweep_smoke_matches_the_facade_byte_for_byte(tmp_path):
+    out = tmp_path / "smoke.json"
+    assert main(["sweep", "--smoke", "--quiet", "--json", str(out)]) == 0
+    direct = Study.from_spec(SMOKE_SPEC).run().to_json() + "\n"
+    assert out.read_text() == direct
+
+
+def test_sweep_flags_build_a_grid(tmp_path, capsys):
+    code = main([
+        "sweep", "--objective", "timeline",
+        "--systems", "timeline", "--specs", "GPT-S",
+        "--world-sizes", "8", "--batches", "1024", "2048",
+        "--ns", "2", "--strategies", "none",
+        "--json", "-",
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    payload = json.loads(captured[captured.index("["):])
+    assert len(payload) == 2
+
+
+def test_sweep_json_stdout_only_when_quiet(capsys):
+    assert main([
+        "sweep", "--smoke", "--quiet", "--json", "-",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == len(Study.from_spec(SMOKE_SPEC))
+
+
+def test_bench_list_and_unknown(capsys):
+    assert main(["bench", "--list"]) == 0
+    listing = capsys.readouterr().out
+    for name in BENCH_SPECS:
+        assert name in listing
+    assert main(["bench", "not-a-fig"]) == 2
+
+
+def test_study_spec_file_round_trip(tmp_path, capsys):
+    spec = {
+        "grids": [
+            {"systems": ["timeline"], "specs": ["GPT-S"],
+             "world_sizes": [8], "batches": [1024], "ns": [1, 2]},
+        ],
+        "objective": "timeline",
+    }
+    path = tmp_path / "study.json"
+    path.write_text(json.dumps(spec))
+    out = tmp_path / "result.json"
+    assert main(["study", str(path), "--quiet", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert [p["scenario"]["n"] for p in payload] == [1, 2]
+
+
+def test_study_flags_override_spec_even_back_to_defaults(tmp_path, monkeypatch):
+    """`--backend serial --workers 1` on a process-backend spec must win:
+    explicit flags are distinguishable from omitted ones."""
+    from repro.api import cli as cli_mod
+    from repro.api.study import Study as RealStudy
+
+    spec = {
+        "grids": [
+            {"systems": ["timeline"], "specs": ["GPT-S"],
+             "world_sizes": [8], "batches": [1024], "ns": [1]},
+        ],
+        "objective": "timeline",
+        "backend": "process",
+        "workers": 8,
+    }
+    path = tmp_path / "study.json"
+    path.write_text(json.dumps(spec))
+
+    seen = {}
+    original_run = RealStudy.run
+
+    def spying_run(self):
+        seen.update(self.describe())
+        return original_run(self)
+
+    monkeypatch.setattr(RealStudy, "run", spying_run)
+    assert cli_mod.main([
+        "study", str(path), "--quiet",
+        "--backend", "serial", "--workers", "1",
+    ]) == 0
+    assert seen["backend"] == "serial"
+    assert seen["workers"] == 1
+    # And with no flags, the spec's choices stand.
+    assert cli_mod.main(["study", str(path), "--quiet"]) == 0
+    assert seen["backend"] == "process"
+    assert seen["workers"] == 8
+
+
+def test_study_spec_errors_are_clean_failures(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"grids": [{"batch_sizes": [1024]}]}))
+    assert main(["study", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'batches'" in err
+
+    assert main(["study", str(tmp_path / "missing.json")]) == 2
+    bad.write_text("{not json")
+    assert main(["study", str(bad)]) == 2
+
+
+def test_unknown_backend_is_a_clean_failure(capsys):
+    assert main(["sweep", "--smoke", "--backend", "fiber"]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_missing_subcommand_exits_nonzero():
+    with pytest.raises(SystemExit):
+        main([])

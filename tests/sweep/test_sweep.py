@@ -68,6 +68,12 @@ class TestScenario:
             {"severity": 0.0},
             {"severity": 1.5},
             {"straggler_seed": -1},
+            # Silently-ignored knobs must fail loudly: severity without a
+            # straggler victim, seeds on non-jitter kinds.
+            {"severity": 0.5},
+            {"straggler": "uniform", "severity": 0.5},
+            {"straggler_seed": 3},
+            {"straggler": "single-slow-gpu", "straggler_seed": 3},
             {"num_experts": 0},
             {"capacity_factor": 0.0},
         ],
@@ -110,6 +116,46 @@ class TestScenarioGrid:
             systems=("pipemoe",), ns=(4, None)
         )
         assert [s.system for s in combined] == ["fastmoe", "pipemoe", "pipemoe"]
+
+    def test_concatenation_stays_grid_compatible(self):
+        """``+`` no longer degrades to a plain list: the result keeps
+        ``scenarios()``/``len`` and chains with grids and iterables on
+        either side."""
+        from repro.sweep import ScenarioList
+
+        a = ScenarioGrid(systems=("fastmoe",))
+        b = ScenarioGrid(systems=("pipemoe",), ns=(1, 2))
+        combined = a + b
+        assert isinstance(combined, ScenarioList)
+        assert len(combined) == 3
+        assert combined.scenarios() == a.scenarios() + b.scenarios()
+        # Chains in both directions, against grids, lists and scenarios.
+        chained = combined + a + [Scenario(system="mpipemoe")]
+        assert isinstance(chained, ScenarioList)
+        assert len(chained) == 5
+        led = [Scenario(system="mpipemoe")] + combined
+        assert isinstance(led, ScenarioList)
+        assert led[0].system == "mpipemoe"
+        assert isinstance(led[:2], ScenarioList)
+        assert combined == a.scenarios() + b.scenarios()
+
+    def test_concatenation_rejects_non_scenarios(self):
+        with pytest.raises(TypeError, match="Scenario"):
+            ScenarioGrid() + ["not-a-scenario"]
+
+    def test_unknown_axis_name_fails_eagerly_with_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'batches'"):
+            ScenarioGrid(batch_sizes=(1024,))
+        with pytest.raises(ValueError, match="valid axes"):
+            ScenarioGrid(granularities=(2,))
+
+    def test_scalar_and_string_axes_fail_eagerly(self):
+        """specs="GPT-XL" must not fan out over characters, and
+        batches=4096 must not die deep inside itertools.product."""
+        with pytest.raises(ValueError, match="specs=\\('GPT-XL',\\)"):
+            ScenarioGrid(specs="GPT-XL")
+        with pytest.raises(ValueError, match="sequence"):
+            ScenarioGrid(batches=4096)
 
     def test_empty_axis_rejected(self):
         with pytest.raises(ValueError, match="axis"):
@@ -366,6 +412,22 @@ class TestHeteroScenarios:
                              batch=1024, n=2)])
         ctx = runner_mod.shared_context(8)
         assert ctx.evaluator.max_entries == 8
+
+    def test_memo_bound_env_var_does_not_leak_past_the_run(self, monkeypatch):
+        """A bounded runner must not silently cap later 'unbounded'
+        runners' contexts via a leaked environment variable."""
+        from repro.sweep import runner as runner_mod
+
+        monkeypatch.delenv(runner_mod.MAX_MEMO_ENTRIES_ENV, raising=False)
+        monkeypatch.setattr(runner_mod, "_CONTEXTS", {})
+        runner = SweepRunner(evaluate_timeline, evaluator_max_entries=2)
+        runner.run([Scenario(system="timeline", spec="GPT-S", world_size=8,
+                             batch=1024, n=2)])
+        assert runner_mod.MAX_MEMO_ENTRIES_ENV not in os.environ
+        # A context built after the bounded run is genuinely unbounded.
+        monkeypatch.setattr(runner_mod, "_CONTEXTS", {})
+        ctx = runner_mod.shared_context(8)
+        assert ctx.evaluator.max_entries is None
 
     def test_context_pool_is_bounded(self, monkeypatch):
         from repro.sweep import runner as runner_mod
