@@ -27,7 +27,9 @@ from repro.api.backends import available_backends
 from repro.api.study import OBJECTIVES, Study
 from repro.sweep.grid import BACKEND_NAMES, ScenarioGrid
 
-#: The CI smoke grid: tiny, timeline-priced, deterministic.
+#: The CI smoke grid: tiny, timeline-priced, deterministic.  The extra
+#: pinned scenario exercises the routing-workload path (top-k fan-out
+#: plus skewed gating) end to end through the CLI.
 SMOKE_SPEC = {
     "grids": [
         {
@@ -37,6 +39,18 @@ SMOKE_SPEC = {
             "batches": [1024, 2048],
             "ns": [1, 2],
             "strategies": ["none", "S1"],
+        }
+    ],
+    "scenarios": [
+        {
+            "system": "timeline",
+            "spec": "GPT-S",
+            "world_size": 8,
+            "batch": 2048,
+            "n": 2,
+            "strategy": "S1",
+            "top_k": 2,
+            "imbalance": 4.0,
         }
     ],
     "objective": "timeline",
@@ -120,6 +134,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--stragglers", nargs="+", default=["adaptive"],
                        help="straggler kinds; 'none'/'adaptive' = homogeneous")
     sweep.add_argument("--severities", nargs="+", type=float, default=[1.0])
+    sweep.add_argument("--top-ks", nargs="+", default=["none"],
+                       help="routing fan-out k; 'none' = the preset's k")
+    sweep.add_argument("--dtypes", nargs="+", default=["none"],
+                       help="activation dtypes (fp8/fp16/bf16/fp32/...); "
+                            "'none' = the timing default (fp16)")
+    sweep.add_argument("--imbalances", nargs="+", type=float, default=[1.0],
+                       help="hottest-expert load ratios (1.0 = uniform gating)")
     sweep.add_argument("--objective", default="system",
                        choices=sorted(OBJECTIVES))
     sweep.add_argument("--smoke", action="store_true",
@@ -189,6 +210,9 @@ def _cmd_sweep(args) -> int:
             strategies=tuple(_parse_optional(s, str) for s in args.strategies),
             stragglers=tuple(_parse_optional(s, str) for s in args.stragglers),
             severities=tuple(args.severities),
+            top_ks=tuple(_parse_optional(k, int) for k in args.top_ks),
+            dtypes=tuple(_parse_optional(d, str) for d in args.dtypes),
+            imbalances=tuple(args.imbalances),
         )
         study = Study(grid, objective=args.objective)
         title = f"repro sweep ({len(grid)} scenarios)"

@@ -27,12 +27,18 @@ from repro.tensor import functional as F
 
 
 def capacity_for(batch: int, num_experts: int, top_k: int, capacity_factor: float) -> int:
-    """Slots per (source rank, expert): ceil(cf * B * k / E), at least 1."""
-    if batch <= 0:
-        raise ValueError("batch must be positive")
-    if capacity_factor <= 0:
-        raise ValueError("capacity_factor must be positive")
-    return max(1, int(np.ceil(capacity_factor * batch * top_k / num_experts)))
+    """Slots per (source rank, expert): ceil(cf * B * k / E), at least 1.
+
+    Delegates to :func:`repro.perfmodel.workload.expert_capacity` — the
+    one canonical capacity formula, shared with the pricing layers (the
+    sweep runner used to apply ``ceil(B * cf)`` to the whole batch,
+    contradicting this per-expert definition).  Imported lazily: the
+    perfmodel package pulls in the timing stack, which must not load at
+    ``repro.core`` import time.
+    """
+    from repro.perfmodel.workload import expert_capacity
+
+    return expert_capacity(batch, num_experts, top_k, capacity_factor)
 
 
 def positions_within_expert(flat_experts: np.ndarray, num_experts: int) -> np.ndarray:

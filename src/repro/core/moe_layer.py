@@ -49,6 +49,7 @@ from repro.memory.host_pool import HostBufferPool
 from repro.memory.strategies import Strategy, get_strategy
 from repro.perfmodel.cost import HardwareRates, PerfModel
 from repro.perfmodel.selector import StrategySelector
+from repro.perfmodel.workload import WorkloadSpec
 from repro.pipeline.executor import PipelinedMoEMiddle, middle_autograd
 from repro.pipeline.granularity import GranularitySearcher
 from repro.pipeline.partition import pad_capacity
@@ -158,15 +159,26 @@ class MoELayer:
         self._topology = ClusterTopology(self.cluster)
         self._comm_model = NcclCostModel(self._topology, world_size)
         self._sim = SimEngine()
+        # The default WorkloadSpec inherits this layer's top_k, so the
+        # adaptive components price k routed rows per token — a k=1
+        # layer resolves to the raw batch bit for bit.  (The executable
+        # capacity_factor stays out: the timing layer prices what a
+        # granularity trial would measure, dropped tokens included.)
+        self.timing_workload = WorkloadSpec()
         self.granularity_searcher = GranularitySearcher(
             evaluate=self._simulated_iteration_time,
             candidates=self.candidate_partitions,
         )
         rates = HardwareRates.from_cluster(device, self._comm_model)
-        self.perf_model = PerfModel(self.spec, rates)
+        self.perf_model = PerfModel(
+            self.spec, rates,
+            workload=self.timing_workload, world_size=world_size,
+        )
         self.strategy_selector = StrategySelector(
             self.perf_model,
-            footprint=FootprintModel(self.spec, world_size),
+            footprint=FootprintModel(
+                self.spec, world_size, workload=self.timing_workload
+            ),
             device_capacity=device.memory_bytes,
         )
         self.last_selection = None
@@ -191,7 +203,8 @@ class MoELayer:
     def _simulated_iteration_time(self, batch: int, n: int) -> float:
         """Trial evaluator for Algorithm 1: simulated fw+bw makespan."""
         costs = MoEStageCosts.compute(
-            self.spec, batch, n, self.device, self._comm_model
+            self.spec, batch, n, self.device, self._comm_model,
+            workload=self.timing_workload,
         )
         ops = build_timeline(costs, n, strategy="none", include_backward=True)
         return self._sim.run(ops).makespan

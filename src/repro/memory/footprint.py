@@ -17,8 +17,12 @@ Eq. 6   phi = (dM_act + dM_buf) / (M_ms + M^pipe_act + M^pipe_buf)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import BYTES_PER_ELEM, MoELayerSpec
+
+if TYPE_CHECKING:
+    from repro.perfmodel.workload import WorkloadSpec
 
 
 def model_states_elems(spec: MoELayerSpec) -> int:
@@ -26,44 +30,71 @@ def model_states_elems(spec: MoELayerSpec) -> int:
     return 4 * (spec.gate_params + spec.expert_params)
 
 
-def activations_elems(spec: MoELayerSpec, batch: int) -> int:
-    """Eq. 2: four (B, M) tensors (TI, TDI, TDO, TO) plus TM of (B, H)."""
+def activations_elems(spec: MoELayerSpec, batch: int, rows: int | None = None) -> int:
+    """Eq. 2: four (B, M) tensors (TI, TDI, TDO, TO) plus TM of (B, H).
+
+    ``rows`` sizes the dispatch-side tensors (TDI, TDO, TM) when a
+    routed workload inflates them beyond B (top-k fan-out, capacity
+    padding, gating skew); TI and TO always hold the raw B tokens.
+    ``rows=None`` (or ``rows == batch``) reproduces Eq. 2 exactly.
+    """
     _check_batch(batch)
-    return 4 * batch * spec.d_model + batch * spec.d_hidden
+    if rows is None or rows == batch:
+        return 4 * batch * spec.d_model + batch * spec.d_hidden
+    return (
+        2 * batch * spec.d_model
+        + 2 * rows * spec.d_model
+        + rows * spec.d_hidden
+    )
 
 
-def buffers_elems(spec: MoELayerSpec, batch: int) -> int:
-    """Eq. 3: peak temporary-buffer pair in sequential backward."""
+def buffers_elems(spec: MoELayerSpec, batch: int, rows: int | None = None) -> int:
+    """Eq. 3: peak temporary-buffer pair in sequential backward.
+
+    The pair is dispatch-side (a TDO-grad and a TM-grad chunk), so
+    ``rows`` scales both terms.
+    """
     _check_batch(batch)
-    return batch * spec.d_model + batch * spec.d_hidden
+    if rows is None:
+        rows = batch
+    return rows * spec.d_model + rows * spec.d_hidden
 
 
-def pipeline_activations_elems(spec: MoELayerSpec, batch: int) -> int:
+def pipeline_activations_elems(
+    spec: MoELayerSpec, batch: int, rows: int | None = None
+) -> int:
     """Eq. 4: pipeline parallelism alone does not shrink activations."""
-    return activations_elems(spec, batch)
+    return activations_elems(spec, batch, rows)
 
 
-def pipeline_buffers_elems(spec: MoELayerSpec, batch: int) -> int:
+def pipeline_buffers_elems(
+    spec: MoELayerSpec, batch: int, rows: int | None = None
+) -> int:
     """Eq. 4: with pipelining the temp-buffer peak grows to match M_act.
 
     Gradient chunks of all in-flight partitions coexist, so the paper
     sets M^pipe_buf = M^pipe_act.
     """
-    return activations_elems(spec, batch)
+    return activations_elems(spec, batch, rows)
 
 
-def reuse_savings_elems(spec: MoELayerSpec, batch: int, n: int) -> int:
+def reuse_savings_elems(
+    spec: MoELayerSpec, batch: int, n: int, rows: int | None = None
+) -> int:
     """Eq. 5: elements saved in *each* of activations and temp buffers.
 
     TDI and TDO shrink from (B, M) to two (B/n, M) ring slots each; TM
     shrinks from (B, H) to one (B/n, H) slot.  Requires n >= 2 (with
     n = 1 there is nothing to share and the formula would go negative).
+    All three tensors are dispatch-side, so ``rows`` replaces B whole.
     """
     _check_batch(batch)
     if n < 2:
         return 0
+    if rows is None:
+        rows = batch
     m, h = spec.d_model, spec.d_hidden
-    return int(batch * (2 * m * (n - 2) / n + h * (n - 1) / n))
+    return int(rows * (2 * m * (n - 2) / n + h * (n - 1) / n))
 
 
 def memory_saving_ratio(spec: MoELayerSpec, batch: int, n: int) -> float:
@@ -89,11 +120,20 @@ class FootprintModel:
     ``world_size`` matters only through expert placement: each device
     stores E / world experts' model states (expert parallelism shards
     them, Fig. 1), while the gate is replicated.
+
+    ``workload`` (a :class:`~repro.perfmodel.workload.WorkloadSpec`)
+    sizes the dispatch-side activations by the bottleneck device's
+    routed row count instead of B — top-k fan-out, capacity padding and
+    gating skew all grow TDI/TDO/TM.  The element width stays
+    ``bytes_per_elem``: the paper's Eq. 1-6 account in fp32 regardless
+    of the wire dtype, and this model keeps that convention.  A neutral
+    (or absent) workload reproduces Eq. 2-5 bit for bit.
     """
 
     spec: MoELayerSpec
     world_size: int = 1
     bytes_per_elem: int = BYTES_PER_ELEM
+    workload: "WorkloadSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.spec.num_experts % self.world_size:
@@ -111,11 +151,23 @@ class FootprintModel:
         local = self.spec.gate_params + self.experts_per_rank * self.spec.expert_params
         return 4 * local * self.bytes_per_elem
 
+    def _rows(self, batch: int) -> int | None:
+        """Dispatch-side row count under the workload (None = plain B)."""
+        if self.workload is None:
+            return None
+        return self.workload.device_rows(self.spec, batch, self.world_size)
+
     def activations_bytes(self, batch: int) -> int:
-        return activations_elems(self.spec, batch) * self.bytes_per_elem
+        return (
+            activations_elems(self.spec, batch, self._rows(batch))
+            * self.bytes_per_elem
+        )
 
     def buffers_bytes(self, batch: int) -> int:
-        return buffers_elems(self.spec, batch) * self.bytes_per_elem
+        return (
+            buffers_elems(self.spec, batch, self._rows(batch))
+            * self.bytes_per_elem
+        )
 
     def total_bytes(self, batch: int, pipelined: bool = False, reuse_n: int = 0) -> int:
         """Peak per-device footprint under a given execution mode."""
@@ -130,7 +182,13 @@ class FootprintModel:
         if reuse_n >= 2:
             if not pipelined:
                 raise ValueError("memory reuse requires pipelined execution")
-            saved = 2 * reuse_savings_elems(self.spec, batch, reuse_n) * self.bytes_per_elem
+            saved = (
+                2
+                * reuse_savings_elems(
+                    self.spec, batch, reuse_n, self._rows(batch)
+                )
+                * self.bytes_per_elem
+            )
         return states + act + buf - saved
 
     def breakdown(self, batch: int) -> dict[str, int]:
@@ -143,6 +201,9 @@ class FootprintModel:
 
     def saving_ratio(self, batch: int, n: int) -> float:
         """Eq. 6 on the per-device sharded footprint."""
-        delta = reuse_savings_elems(self.spec, batch, n) * self.bytes_per_elem
+        delta = (
+            reuse_savings_elems(self.spec, batch, n, self._rows(batch))
+            * self.bytes_per_elem
+        )
         denom = self.model_states_bytes() + 2 * self.activations_bytes(batch)
         return 2 * delta / denom

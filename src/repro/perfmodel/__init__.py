@@ -9,16 +9,28 @@ capacity — "considering both the hardware capacities and runtime
 characteristics" (Sec. V-G).
 """
 
+from repro.perfmodel.workload import (
+    DTYPE_BYTES,
+    RoutedLoad,
+    TIMING_DTYPE,
+    WorkloadSpec,
+    expert_capacity,
+)
 from repro.perfmodel.cost import HardwareRates, PerfModel, StageCost
 from repro.perfmodel.evalcache import EvalStats, Evaluator
 from repro.perfmodel.selector import StrategySelector, SelectionResult
 
 __all__ = [
+    "DTYPE_BYTES",
+    "TIMING_DTYPE",
     "HardwareRates",
     "PerfModel",
     "StageCost",
     "EvalStats",
     "Evaluator",
+    "RoutedLoad",
     "StrategySelector",
     "SelectionResult",
+    "WorkloadSpec",
+    "expert_capacity",
 ]

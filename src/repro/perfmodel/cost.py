@@ -25,6 +25,7 @@ from repro.config import MoELayerSpec
 from repro.hardware.device import DeviceSpec
 from repro.hardware.interference import InterferenceModel, PAPER_INTERFERENCE
 from repro.memory.strategies import Strategy
+from repro.perfmodel.workload import WorkloadSpec
 from repro.pipeline.schedule import TIMING_BYTES_PER_ELEM
 
 
@@ -107,12 +108,24 @@ class PerfModel:
         spec: MoELayerSpec,
         rates: HardwareRates,
         interference: InterferenceModel | None = None,
-        bytes_per_elem: int = TIMING_BYTES_PER_ELEM,
+        bytes_per_elem: int | None = None,
         use_paper_q: bool = True,
+        workload: WorkloadSpec | None = None,
+        world_size: int = 1,
     ) -> None:
         self.spec = spec
         self.rates = rates
         self.interference = interference or PAPER_INTERFERENCE
+        #: Routing-aware workload (top-k fan-out, activation dtype,
+        #: gating skew, per-expert capacity) — None keeps the paper's
+        #: k=1 / half-precision / uniform pricing; ``world_size`` only
+        #: matters for the skew dilution (experts per rank).
+        self.workload = workload
+        self.world_size = world_size
+        if workload is not None:
+            bytes_per_elem = workload.resolve_bytes(bytes_per_elem)
+        elif bytes_per_elem is None:
+            bytes_per_elem = TIMING_BYTES_PER_ELEM
         self.bytes_per_elem = bytes_per_elem
         #: Use Table II's tabulated Q (exact paper reproduction, assumes
         #: H = 4M) or the generalized Strategy.workload() for any H/M.
@@ -147,11 +160,17 @@ class PerfModel:
             return strategy.q_fw, strategy.q_bw
         return strategy.workload(self.spec.d_hidden / self.spec.d_model)
 
+    def _device_rows(self, batch: int) -> int:
+        """The priced row count: the routed bottleneck load, or B itself."""
+        if self.workload is None:
+            return batch
+        return self.workload.device_rows(self.spec, batch, self.world_size)
+
     def iteration_cost(self, strategy: Strategy, batch: int, n: int) -> float:
         """Modeled fw+bw time of the whole batch at granularity n."""
         if batch < 1 or n < 1:
             raise ValueError("batch and n must be >= 1")
-        b = -(-batch // n)  # ceil: padded final micro-batch
+        b = -(-self._device_rows(batch) // n)  # ceil: padded final micro-batch
         mu = self.interference.mu(strategy.uses_mem_stream)
         eta = self.interference.eta(strategy.uses_mem_stream)
         q_fw, q_bw = self.strategy_queues(strategy)
@@ -161,7 +180,7 @@ class PerfModel:
 
     def breakdown(self, strategy: Strategy, batch: int, n: int) -> dict[str, StageCost]:
         """Per-phase stream costs, for analysis output."""
-        b = -(-batch // n)
+        b = -(-self._device_rows(batch) // n)
         mu = self.interference.mu(strategy.uses_mem_stream)
         eta = self.interference.eta(strategy.uses_mem_stream)
         q_fw, q_bw = self.strategy_queues(strategy)

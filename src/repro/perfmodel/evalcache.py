@@ -29,6 +29,7 @@ from repro.config import MoELayerSpec
 from repro.memory.footprint import FootprintModel
 from repro.perfmodel.cost import HardwareRates, PerfModel
 from repro.perfmodel.selector import StrategySelector
+from repro.perfmodel.workload import WorkloadSpec
 from repro.pipeline.schedule import MoEStageCosts, build_timeline, compile_timeline
 from repro.sim.engine import SimResult
 
@@ -112,9 +113,12 @@ class Evaluator:
 
     Keys include everything the cached value depends on —
     ``(hetero-spec hash, spec, batch, n, strategy, decomposed,
-    sequential, gemm_derate)`` — while cluster, device, and
+    sequential, gemm_derate, workload)`` — while cluster, device, and
     interference are fixed per evaluator because they are fixed per
-    :class:`SystemContext`.  The hetero hash makes keys globally
+    :class:`SystemContext`.  The ``workload``
+    (:class:`~repro.perfmodel.workload.WorkloadSpec`) is per-call like
+    ``gemm_derate``: one shared context serves scenarios at different
+    top-k / dtype / gating-skew settings without cross-talk.  The hetero hash makes keys globally
     unambiguous even if memo contents are ever compared or merged
     across contexts (and it is what the sweep's on-disk scenario cache
     inherits through the scenario fields).
@@ -139,9 +143,10 @@ class Evaluator:
         self._costs = _LruMemo(self.max_entries)
         self._makespans = _LruMemo(self.max_entries)
         self._sims = _LruMemo(self.max_entries)
-        self._footprints: dict[MoELayerSpec, FootprintModel] = {}
+        # Keyed (spec, workload): one model per routing workload.
+        self._footprints: dict[tuple, FootprintModel] = {}
         self._footprint_bytes = _LruMemo(self.max_entries)
-        self._selectors: dict[MoELayerSpec, StrategySelector] = {}
+        self._selectors: dict[tuple, StrategySelector] = {}
         self._hkey = self.context.hetero_key
 
     # -- shared building blocks ------------------------------------------------
@@ -153,32 +158,40 @@ class Evaluator:
             self._comm = self.context.comm_model()
         return self._comm
 
-    def footprint(self, spec: MoELayerSpec) -> FootprintModel:
+    def footprint(
+        self, spec: MoELayerSpec, workload: WorkloadSpec | None = None
+    ) -> FootprintModel:
         if not self.enabled:
-            return self.context.footprint(spec)
-        fp = self._footprints.get(spec)
+            return self.context.footprint(spec, workload)
+        key = (spec, workload)
+        fp = self._footprints.get(key)
         if fp is None:
-            fp = self.context.footprint(spec)
-            self._footprints[spec] = fp
+            fp = self.context.footprint(spec, workload)
+            self._footprints[key] = fp
         return fp
 
     def stage_costs(
-        self, spec: MoELayerSpec, batch: int, n: int, gemm_derate: float = 1.0
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        gemm_derate: float = 1.0,
+        workload: WorkloadSpec | None = None,
     ) -> MoEStageCosts:
         """Memoized :meth:`MoEStageCosts.compute` for one operating point."""
         if not self.enabled:
             self.stats.cost_misses += 1
             return MoEStageCosts.compute(
                 spec, batch, n, self.context.device, self.comm_model(),
-                gemm_derate=gemm_derate,
+                gemm_derate=gemm_derate, workload=workload,
             )
-        key = (self._hkey, spec, batch, n, gemm_derate)
+        key = (self._hkey, spec, batch, n, gemm_derate, workload)
         costs = self._costs.get(key)
         if costs is None:
             self.stats.cost_misses += 1
             costs = MoEStageCosts.compute(
                 spec, batch, n, self.context.device, self.comm_model(),
-                gemm_derate=gemm_derate,
+                gemm_derate=gemm_derate, workload=workload,
             )
             self._costs[key] = costs
         else:
@@ -196,6 +209,7 @@ class Evaluator:
         decomposed_comm: bool = False,
         sequential: bool = False,
         gemm_derate: float = 1.0,
+        workload: WorkloadSpec | None = None,
     ) -> float:
         """Iteration makespan of one timeline, via the compiled fast path.
 
@@ -205,16 +219,17 @@ class Evaluator:
         """
         if not self.enabled:
             return self._cold_sim(
-                spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
+                spec, batch, n, strategy, decomposed_comm, sequential,
+                gemm_derate, workload,
             ).makespan
         key = (self._hkey, spec, batch, n, strategy, decomposed_comm, sequential,
-               gemm_derate)
+               gemm_derate, workload)
         cached = self._makespans.get(key)
         if cached is not None:
             self.stats.makespan_hits += 1
             return cached
         self.stats.makespan_misses += 1
-        costs = self.stage_costs(spec, batch, n, gemm_derate)
+        costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
@@ -232,20 +247,22 @@ class Evaluator:
         decomposed_comm: bool = False,
         sequential: bool = False,
         gemm_derate: float = 1.0,
+        workload: WorkloadSpec | None = None,
     ) -> SimResult:
         """Full recorded simulation, for reports that read the trace."""
         if not self.enabled:
             return self._cold_sim(
-                spec, batch, n, strategy, decomposed_comm, sequential, gemm_derate
+                spec, batch, n, strategy, decomposed_comm, sequential,
+                gemm_derate, workload,
             )
         key = (self._hkey, spec, batch, n, strategy, decomposed_comm, sequential,
-               gemm_derate)
+               gemm_derate, workload)
         sim = self._sims.get(key)
         if sim is not None:
             self.stats.sim_hits += 1
             return sim
         self.stats.sim_misses += 1
-        costs = self.stage_costs(spec, batch, n, gemm_derate)
+        costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
@@ -281,7 +298,10 @@ class Evaluator:
             for p in profiles
         ]
 
-    def _cold_sim(self, spec, batch, n, strategy, decomposed, sequential, derate):
+    def _cold_sim(
+        self, spec, batch, n, strategy, decomposed, sequential, derate,
+        workload=None,
+    ):
         """The seed evaluation path, byte for byte: nothing reused.
 
         Heterogeneous contexts run the fresh Op DAG once per device
@@ -290,7 +310,7 @@ class Evaluator:
         """
         costs = MoEStageCosts.compute(
             spec, batch, n, self.context.device, self.context.comm_model(),
-            gemm_derate=derate,
+            gemm_derate=derate, workload=workload,
         )
         ops = build_timeline(
             costs, n, strategy, decomposed_comm=decomposed, sequential=sequential
@@ -304,18 +324,23 @@ class Evaluator:
 
     # -- memory ----------------------------------------------------------------
     def footprint_bytes(
-        self, spec: MoELayerSpec, batch: int, pipelined: bool, reuse_n: int = 0
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        pipelined: bool,
+        reuse_n: int = 0,
+        workload: WorkloadSpec | None = None,
     ) -> int:
         if not self.enabled:
             self.stats.footprint_misses += 1
-            return self.footprint(spec).total_bytes(
+            return self.footprint(spec, workload).total_bytes(
                 batch, pipelined=pipelined, reuse_n=reuse_n
             )
-        key = (self._hkey, spec, batch, pipelined, reuse_n)
+        key = (self._hkey, spec, batch, pipelined, reuse_n, workload)
         cached = self._footprint_bytes.get(key)
         if cached is None:
             self.stats.footprint_misses += 1
-            cached = self.footprint(spec).total_bytes(
+            cached = self.footprint(spec, workload).total_bytes(
                 batch, pipelined=pipelined, reuse_n=reuse_n
             )
             self._footprint_bytes[key] = cached
@@ -323,19 +348,31 @@ class Evaluator:
             self.stats.footprint_hits += 1
         return cached
 
-    def fits(self, spec: MoELayerSpec, batch: int, n: int) -> bool:
+    def fits(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        workload: WorkloadSpec | None = None,
+    ) -> bool:
         """Whether the pipelined+reuse footprint fits device memory.
 
         The no-fit answer is memoized like any other: a configuration
         that raised :class:`MemoryError` cold raises it warm too.
         """
         capacity = self.context.device_memory_bytes
-        return self.footprint_bytes(spec, batch, True, reuse_n=n) <= capacity
+        return (
+            self.footprint_bytes(spec, batch, True, reuse_n=n, workload=workload)
+            <= capacity
+        )
 
     # -- closed-form selection -------------------------------------------------
-    def selector(self, spec: MoELayerSpec) -> StrategySelector:
-        """Eq. 10 strategy selector, one per layer spec."""
-        selector = self._selectors.get(spec) if self.enabled else None
+    def selector(
+        self, spec: MoELayerSpec, workload: WorkloadSpec | None = None
+    ) -> StrategySelector:
+        """Eq. 10 strategy selector, one per (layer spec, workload)."""
+        key = (spec, workload)
+        selector = self._selectors.get(key) if self.enabled else None
         if selector is None:
             rates = HardwareRates.from_cluster(self.context.device, self.comm_model())
             hetero = self.context.hetero
@@ -345,12 +382,16 @@ class Evaluator:
                 worst = hetero.bottleneck_rates(self.context.effective_world)
                 rates = rates.scaled(comp=worst.comp, mem=worst.mem)
             selector = StrategySelector(
-                PerfModel(spec, rates),
-                footprint=self.footprint(spec),
+                PerfModel(
+                    spec, rates,
+                    workload=workload,
+                    world_size=self.context.effective_world,
+                ),
+                footprint=self.footprint(spec, workload),
                 device_capacity=self.context.device_memory_bytes,
             )
             if self.enabled:
-                self._selectors[spec] = selector
+                self._selectors[key] = selector
         return selector
 
     def cache_info(self) -> dict:

@@ -26,6 +26,7 @@ all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.comm.cost import NcclCostModel
 from repro.config import MoELayerSpec
@@ -34,7 +35,13 @@ from repro.hardware.interference import StreamKind
 from repro.memory.strategies import RestoreMethod, Strategy, get_strategy
 from repro.sim.engine import CompiledDag, Op, SimEngine, SimResult, compile_dag
 
+if TYPE_CHECKING:  # imported lazily at call time to stay cycle-free
+    from repro.perfmodel.workload import WorkloadSpec
+
 #: Activations travel in half precision on the wire/HBM in the paper's setup.
+#: (Equal by contract to ``DTYPE_BYTES[TIMING_DTYPE]`` in
+#: :mod:`repro.perfmodel.workload`, which cannot be imported here at
+#: module scope without a cycle — a test pins the two together.)
 TIMING_BYTES_PER_ELEM = 2
 
 #: GEMM rows at which a kernel reaches ~50% of its saturated throughput.
@@ -78,8 +85,9 @@ class MoEStageCosts:
         n: int,
         device: DeviceSpec,
         comm: NcclCostModel,
-        bytes_per_elem: int = TIMING_BYTES_PER_ELEM,
+        bytes_per_elem: int | None = None,
         gemm_derate: float = 1.0,
+        workload: "WorkloadSpec | None" = None,
     ) -> "MoEStageCosts":
         """Derive stage costs for per-device batch ``batch`` split n ways.
 
@@ -87,12 +95,30 @@ class MoEStageCosts:
         sustained rate — used to model baselines that do not hit the
         tensor-core path (Sec. V-C: "PipeMoE also takes advantage of
         Tensor Core").
+
+        ``workload`` (a :class:`~repro.perfmodel.workload.WorkloadSpec`)
+        makes the pricing routing-aware: the batch is replaced by the
+        bottleneck device's routed row count (top-k fan-out, gating
+        skew, per-expert capacity padding) and every byte term — the
+        All-to-Alls, the point-to-point exchange *and* the PCIe offload
+        copies — uses the workload's activation width, so a non-default
+        dtype can never price comm and memcpy inconsistently.  A
+        ``bytes_per_elem`` that contradicts the workload is rejected.
+        A neutral workload (or ``None``) reproduces the k=1 /
+        half-precision / uniform pricing bit for bit.
         """
         if batch < 1 or n < 1:
             raise ValueError("batch and n must be >= 1")
         if not 0 < gemm_derate <= 1:
             raise ValueError("gemm_derate must be in (0, 1]")
-        b = -(-batch // n)  # ceil: the last micro-batch may be padded
+        if workload is not None:
+            bytes_per_elem = workload.resolve_bytes(bytes_per_elem)
+            rows = workload.device_rows(spec, batch, comm.effective_world)
+        else:
+            if bytes_per_elem is None:
+                bytes_per_elem = TIMING_BYTES_PER_ELEM
+            rows = batch
+        b = -(-rows // n)  # ceil: the last micro-batch may be padded
         m, h = spec.d_model, spec.d_hidden
         gemm_flops = 2.0 * b * m * h  # one GEMM
         comm_bytes = float(b * m * bytes_per_elem)

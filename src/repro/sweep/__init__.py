@@ -37,6 +37,7 @@ from repro.sweep.runner import (
     evaluate_system,
     evaluate_timeline,
     scenario_hetero,
+    scenario_workload,
     shared_context,
 )
 
@@ -53,6 +54,7 @@ __all__ = [
     "evaluate_system",
     "evaluate_timeline",
     "scenario_hetero",
+    "scenario_workload",
     "shared_context",
     "group_by",
     "pareto_front",

@@ -5,7 +5,10 @@ backend evaluates it, on which layer spec, at which world size / batch /
 granularity / memory-reuse strategy, plus the two timeline ablation
 toggles (point-to-point decomposed All-to-All and fully sequential
 execution), the heterogeneous-cluster axes (straggler kind, severity,
-seed), and the layer-shape axes (expert count E, capacity factor).  A
+seed), the layer-shape axes (expert count E, capacity factor), and the
+routing-workload axes (top-k fan-out, activation dtype, gating
+imbalance — compiled into a
+:class:`~repro.perfmodel.workload.WorkloadSpec` by the runner).  A
 :class:`ScenarioGrid` is the cartesian product over those axes; grids
 concatenate with ``+`` so mixed studies (e.g. Fig. 11's adaptive *and*
 pinned-n PipeMoE points) stay declarative.
@@ -26,7 +29,9 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, Sequence
 
+from repro.config import PRESETS
 from repro.hardware.hetero import STRAGGLER_KINDS
+from repro.perfmodel.workload import DTYPE_BYTES
 
 SYSTEM_NAMES = ("fastmoe", "fastermoe", "pipemoe", "mpipemoe")
 #: "timeline" bypasses the system models and prices a raw build_timeline
@@ -49,9 +54,17 @@ class Scenario:
     :data:`repro.hardware.hetero.STRAGGLER_KINDS`) builds the matching
     :class:`~repro.hardware.hetero.HeteroClusterSpec` at ``severity``
     (victim rate multiplier) and ``straggler_seed`` (random jitter).
-    ``num_experts`` overrides the preset's E; ``capacity_factor``
-    scales the dispatched token batch (capacity padding: the tokens a
-    device actually processes are ``ceil(batch * capacity_factor)``).
+    ``num_experts`` overrides the preset's E; ``capacity_factor`` sets
+    the *per-expert* capacity ``C = ceil(capacity_factor * B * k / E)``
+    (the dispatch formula of
+    :func:`repro.core.dispatch.capacity_for`), so each device computes
+    and ships its padded ``E_local x W x C`` dispatch buffer and routed
+    rows beyond an expert's capacity overflow — see
+    :class:`repro.perfmodel.workload.WorkloadSpec`, which also carries
+    the routing axes: ``top_k`` (fan-out k; ``None`` = the preset's),
+    ``dtype`` (activation element width on the wire; ``None`` = the
+    timing default, fp16), and ``imbalance`` (hottest-expert load ratio;
+    1.0 = uniform gating).
     """
 
     system: str = "mpipemoe"
@@ -67,6 +80,9 @@ class Scenario:
     straggler_seed: int = 0
     num_experts: int | None = None
     capacity_factor: float | None = None
+    top_k: int | None = None
+    dtype: str | None = None
+    imbalance: float = 1.0
 
     def __post_init__(self) -> None:
         if self.system not in BACKEND_NAMES:
@@ -111,6 +127,33 @@ class Scenario:
             raise ValueError("num_experts must be >= 1 (or None for the preset's)")
         if self.capacity_factor is not None and self.capacity_factor <= 0:
             raise ValueError("capacity_factor must be positive (or None)")
+        if self.top_k is not None:
+            if self.top_k < 1:
+                raise ValueError("top_k must be >= 1 (or None for the preset's)")
+            # Eager fan-out check (PR 4 convention: no late worker-side
+            # failures): the effective expert count is knowable here —
+            # the override field, or the named preset's E.
+            preset = PRESETS.get(self.spec)
+            experts = (
+                self.num_experts
+                if self.num_experts is not None
+                else preset.num_experts if preset else None
+            )
+            if experts is not None and self.top_k > experts:
+                raise ValueError(
+                    f"top_k={self.top_k} exceeds num_experts={experts} "
+                    f"for spec {self.spec!r}"
+                )
+        if self.dtype is not None and self.dtype not in DTYPE_BYTES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; available: "
+                f"{sorted(DTYPE_BYTES)} (or None for the timing default)"
+            )
+        if not self.imbalance >= 1.0:
+            raise ValueError(
+                "imbalance is the hottest-expert load ratio: >= 1.0 "
+                "(1.0 = uniform gating)"
+            )
 
     def key(self, salt: str = "") -> str:
         """Stable digest of this scenario (plus an optional salt such as
@@ -140,6 +183,12 @@ class Scenario:
             parts.append(f"E={self.num_experts}")
         if self.capacity_factor is not None:
             parts.append(f"f={self.capacity_factor:g}")
+        if self.top_k is not None:
+            parts.append(f"k={self.top_k}")
+        if self.dtype is not None:
+            parts.append(self.dtype)
+        if self.imbalance != 1.0:
+            parts.append(f"skew={self.imbalance:g}x")
         return "/".join(parts)
 
 
@@ -159,6 +208,9 @@ AXIS_FIELDS: dict[str, str] = {
     "straggler_seeds": "straggler_seed",
     "num_experts": "num_experts",
     "capacity_factors": "capacity_factor",
+    "top_ks": "top_k",
+    "dtypes": "dtype",
+    "imbalances": "imbalance",
 }
 
 
@@ -182,8 +234,8 @@ class ScenarioGrid:
 
     Axis order is fixed (system, spec, world_size, batch, n, strategy,
     decomposed, sequential, straggler, severity, straggler_seed,
-    num_experts, capacity_factor) so iteration order — and therefore
-    sweep result order — is deterministic.  ``grid_a + grid_b``
+    num_experts, capacity_factor, top_k, dtype, imbalance) so iteration
+    order — and therefore sweep result order — is deterministic.  ``grid_a + grid_b``
     concatenates into a :class:`ScenarioList` (grid-compatible:
     ``scenarios()``/``len``/``+`` keep chaining) for non-rectangular
     studies.  Unknown axis names fail eagerly with the valid spellings —
@@ -205,6 +257,9 @@ class ScenarioGrid:
         straggler_seeds: Sequence[int] = (0,),
         num_experts: Sequence[int | None] = (None,),
         capacity_factors: Sequence[float | None] = (None,),
+        top_ks: Sequence[int | None] = (None,),
+        dtypes: Sequence[str | None] = (None,),
+        imbalances: Sequence[float] = (1.0,),
         **unknown_axes,
     ) -> None:
         if unknown_axes:
@@ -234,6 +289,9 @@ class ScenarioGrid:
             _check_axis("straggler_seeds", straggler_seeds),
             _check_axis("num_experts", num_experts),
             _check_axis("capacity_factors", capacity_factors),
+            _check_axis("top_ks", top_ks),
+            _check_axis("dtypes", dtypes),
+            _check_axis("imbalances", imbalances),
         )
         if any(not axis for axis in self.axes):
             raise ValueError("every grid axis needs at least one value")
@@ -245,8 +303,9 @@ class ScenarioGrid:
                 strategy=st, decomposed_comm=dc, sequential=sq,
                 straggler=sg, severity=sev, straggler_seed=seed,
                 num_experts=ne, capacity_factor=cf,
+                top_k=tk, dtype=dt, imbalance=im,
             )
-            for sy, sp, w, b, n, st, dc, sq, sg, sev, seed, ne, cf
+            for sy, sp, w, b, n, st, dc, sq, sg, sev, seed, ne, cf, tk, dt, im
             in itertools.product(*self.axes)
         ]
 

@@ -39,7 +39,6 @@ the JSON cache files.
 from __future__ import annotations
 
 import json
-import math
 import os
 import tempfile
 import threading
@@ -50,6 +49,7 @@ from typing import Callable, Iterable
 from repro.api.backends import Backend, get_backend
 from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
+from repro.perfmodel.workload import WorkloadSpec
 from repro.sweep.grid import Scenario, ScenarioGrid
 from repro.systems import (
     FastMoEModel,
@@ -145,11 +145,33 @@ def _scenario_spec(scenario: Scenario) -> MoELayerSpec:
     return spec
 
 
-def _scenario_batch(scenario: Scenario) -> int:
-    """Tokens a device actually processes, after capacity padding."""
-    if scenario.capacity_factor is None:
-        return scenario.batch
-    return max(1, math.ceil(scenario.batch * scenario.capacity_factor))
+def scenario_workload(scenario: Scenario) -> WorkloadSpec | None:
+    """The scenario's routing workload, or None for the seed path.
+
+    Compiles the routing axes (top-k, dtype, gating imbalance) and the
+    capacity factor into one :class:`WorkloadSpec`.  The capacity factor
+    used to be applied here as ``ceil(batch * capacity_factor)`` on the
+    whole per-device batch — contradicting the per-expert
+    ``ceil(f * B * k / E)`` capacity of
+    :func:`repro.core.dispatch.capacity_for`; it now rides the workload,
+    which prices the padded per-expert buffers with the dispatch
+    formula.
+    """
+    if (
+        scenario.top_k is None
+        and scenario.dtype is None
+        and scenario.imbalance == 1.0
+        and scenario.capacity_factor is None
+    ):
+        return None
+    kwargs = dict(
+        top_k=scenario.top_k,
+        imbalance=scenario.imbalance,
+        capacity_factor=scenario.capacity_factor,
+    )
+    if scenario.dtype is not None:
+        return WorkloadSpec.for_dtype(scenario.dtype, **kwargs)
+    return WorkloadSpec(**kwargs)
 
 
 def _with_cache_stats(ctx: SystemContext, before: dict, values: dict) -> dict:
@@ -210,7 +232,8 @@ def evaluate_system(scenario: Scenario) -> dict:
     with ctx.sweep_lock:
         before = ctx.evaluator.cache_info()
         report = model.evaluate(
-            _scenario_spec(scenario), _scenario_batch(scenario)
+            _scenario_spec(scenario), scenario.batch,
+            workload=scenario_workload(scenario),
         )
         return _with_cache_stats(ctx, before, {
             "system": report.system,
@@ -237,10 +260,11 @@ def evaluate_timeline(scenario: Scenario) -> dict:
     with ctx.sweep_lock:  # exact stats attribution; see evaluate_system
         before = ctx.evaluator.cache_info()
         makespan = ctx.evaluator.makespan(
-            _scenario_spec(scenario), _scenario_batch(scenario), scenario.n,
+            _scenario_spec(scenario), scenario.batch, scenario.n,
             scenario.strategy or "none",
             decomposed_comm=scenario.decomposed_comm,
             sequential=scenario.sequential,
+            workload=scenario_workload(scenario),
         )
         return _with_cache_stats(ctx, before, {
             "makespan": makespan,

@@ -11,6 +11,7 @@ from repro.hardware.hetero import DeviceRates, DeviceRateTable, HeteroClusterSpe
 from repro.hardware.topology import ClusterTopology
 from repro.memory.footprint import FootprintModel
 from repro.perfmodel.evalcache import Evaluator
+from repro.perfmodel.workload import WorkloadSpec
 from repro.sim.engine import SimEngine, SimResult
 
 
@@ -116,19 +117,33 @@ class SystemContext:
     def comm_model(self) -> NcclCostModel:
         return NcclCostModel(self.topology, self.effective_world)
 
-    def footprint(self, spec: MoELayerSpec) -> FootprintModel:
-        return FootprintModel(spec, self.effective_world)
+    def footprint(
+        self, spec: MoELayerSpec, workload: WorkloadSpec | None = None
+    ) -> FootprintModel:
+        return FootprintModel(spec, self.effective_world, workload=workload)
 
 
 class SystemModel:
-    """Base class: subclasses implement :meth:`evaluate`."""
+    """Base class: subclasses implement :meth:`evaluate`.
+
+    ``workload`` (a :class:`~repro.perfmodel.workload.WorkloadSpec`)
+    makes the evaluation routing-aware — top-k fan-out, activation
+    dtype, gating skew, per-expert capacity; ``None`` (and any neutral
+    spec) reproduces the paper's k=1 / half-precision / uniform
+    defaults bit for bit.
+    """
 
     name = "base"
 
     def __init__(self, context: SystemContext | None = None) -> None:
         self.context = context or SystemContext()
 
-    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+    def evaluate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> SystemReport:
         raise NotImplementedError
 
     def _report(

@@ -24,6 +24,7 @@ other system.
 from __future__ import annotations
 
 from repro.config import MoELayerSpec
+from repro.perfmodel.workload import WorkloadSpec
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
 #: FasterMoE's fixed pipeline degree (its coarse-grained default).
@@ -62,14 +63,20 @@ class FasterMoEModel(SystemModel):
         per_expert = spec.expert_params * fp.bytes_per_elem
         return 2 * self.shadowed_experts * per_expert
 
-    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+    def evaluate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> SystemReport:
         n = min(self.fixed_n, self.context.effective_world)
         evaluator = self.context.evaluator
         sim = evaluator.simulate(
             spec, batch, n, "none",
             decomposed_comm=True, gemm_derate=self.gemm_derate,
+            workload=workload,
         )
         memory = evaluator.footprint_bytes(
-            spec, batch, pipelined=n > 1
+            spec, batch, pipelined=n > 1, workload=workload
         ) + self.shadowing_bytes(spec)
         return self._report(spec, batch, sim, memory, n=n, strategy="none")

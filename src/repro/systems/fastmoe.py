@@ -17,6 +17,7 @@ severity almost linearly.
 from __future__ import annotations
 
 from repro.config import MoELayerSpec
+from repro.perfmodel.workload import WorkloadSpec
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
 #: Fraction of MPipeMoE's sustained GEMM rate FastMoE achieves (no
@@ -33,11 +34,18 @@ class FastMoEModel(SystemModel):
         super().__init__(context)
         self.gemm_derate = gemm_derate
 
-    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
+    def evaluate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> SystemReport:
         evaluator = self.context.evaluator
         sim = evaluator.simulate(
             spec, batch, 1, "none",
-            sequential=True, gemm_derate=self.gemm_derate,
+            sequential=True, gemm_derate=self.gemm_derate, workload=workload,
         )
-        memory = evaluator.footprint_bytes(spec, batch, pipelined=False)
+        memory = evaluator.footprint_bytes(
+            spec, batch, pipelined=False, workload=workload
+        )
         return self._report(spec, batch, sim, memory, n=1, strategy="none")

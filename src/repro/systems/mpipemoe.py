@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.config import MoELayerSpec
 from repro.memory.strategies import get_strategy
+from repro.perfmodel.workload import WorkloadSpec
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 from repro.systems.pipemoe import DEFAULT_CANDIDATES, PipeMoEModel
 
@@ -51,36 +52,57 @@ class MPipeMoEModel(SystemModel):
         if fixed_strategy is not None:
             self.name = f"MPipeMoE({fixed_strategy})"
 
-    def _simulated_strategy(self, spec: MoELayerSpec, batch: int, n: int) -> str:
+    def _simulated_strategy(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        workload: WorkloadSpec | None = None,
+    ) -> str:
         evaluator = self.context.evaluator
         # All four reuse strategies share the Eq. 5 footprint, so the
         # capacity check is loop-invariant: one probe decides feasibility
         # for the whole search.
-        if not evaluator.fits(spec, batch, n):
+        if not evaluator.fits(spec, batch, n, workload=workload):
             raise MemoryError(f"no reuse strategy fits batch={batch}, n={n}")
         best_name, best_time = None, float("inf")
         for name in REUSE_STRATEGIES:
-            t = evaluator.makespan(spec, batch, n, name)
+            t = evaluator.makespan(spec, batch, n, name, workload=workload)
             if t < best_time:
                 best_name, best_time = name, t
         return best_name
 
-    def choose_strategy(self, spec: MoELayerSpec, batch: int, n: int) -> str:
+    def choose_strategy(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        workload: WorkloadSpec | None = None,
+    ) -> str:
         if n < 2:
             return "none"
         if self.fixed_strategy is not None:
             return self.fixed_strategy
         if self.sim_selection:
-            return self._simulated_strategy(spec, batch, n)
-        return self.context.evaluator.selector(spec).select(batch, n).strategy.name
+            return self._simulated_strategy(spec, batch, n, workload)
+        return (
+            self.context.evaluator.selector(spec, workload)
+            .select(batch, n)
+            .strategy.name
+        )
 
-    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
-        n = self.pipemoe.choose_n(spec, batch)
-        strategy = self.choose_strategy(spec, batch, n)
+    def evaluate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> SystemReport:
+        n = self.pipemoe.choose_n(spec, batch, workload)
+        strategy = self.choose_strategy(spec, batch, n, workload)
         evaluator = self.context.evaluator
-        sim = evaluator.simulate(spec, batch, n, strategy)
+        sim = evaluator.simulate(spec, batch, n, strategy, workload=workload)
         reuse_n = n if strategy != "none" else 0
         memory = evaluator.footprint_bytes(
-            spec, batch, pipelined=n > 1, reuse_n=reuse_n
+            spec, batch, pipelined=n > 1, reuse_n=reuse_n, workload=workload
         )
         return self._report(spec, batch, sim, memory, n=n, strategy=strategy)

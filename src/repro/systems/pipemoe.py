@@ -15,6 +15,7 @@ toward coarser n.
 from __future__ import annotations
 
 from repro.config import MoELayerSpec
+from repro.perfmodel.workload import WorkloadSpec
 from repro.pipeline.granularity import GranularitySearcher
 from repro.systems.base import SystemContext, SystemModel, SystemReport
 
@@ -35,11 +36,18 @@ class PipeMoEModel(SystemModel):
             raise ValueError("fixed_n must be >= 1")
         self.fixed_n = fixed_n
         self.candidates = candidates
-        self._searchers: dict[str, GranularitySearcher] = {}
+        # Keyed (spec name, workload): Algorithm 1's learned B->n ranges
+        # are workload-specific — a skewed or k>1 routing shifts them.
+        self._searchers: dict[tuple, GranularitySearcher] = {}
         if fixed_n is not None:
             self.name = f"PipeMoE(n={fixed_n})"
 
-    def choose_n(self, spec: MoELayerSpec, batch: int) -> int:
+    def choose_n(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> int:
         """Algorithm 1 per model spec (a layer has its own searcher state).
 
         Trials price candidates through the shared evaluator's
@@ -48,19 +56,29 @@ class PipeMoEModel(SystemModel):
         """
         if self.fixed_n is not None:
             return self.fixed_n
-        searcher = self._searchers.get(spec.name)
+        key = (spec.name, workload)
+        searcher = self._searchers.get(key)
         if searcher is None:
             evaluator = self.context.evaluator
             searcher = GranularitySearcher(
-                evaluate=lambda b, n: evaluator.makespan(spec, b, n, "none"),
+                evaluate=lambda b, n: evaluator.makespan(
+                    spec, b, n, "none", workload=workload
+                ),
                 candidates=self.candidates,
             )
-            self._searchers[spec.name] = searcher
+            self._searchers[key] = searcher
         return searcher.configure(batch)
 
-    def evaluate(self, spec: MoELayerSpec, batch: int) -> SystemReport:
-        n = self.choose_n(spec, batch)
+    def evaluate(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        workload: WorkloadSpec | None = None,
+    ) -> SystemReport:
+        n = self.choose_n(spec, batch, workload)
         evaluator = self.context.evaluator
-        sim = evaluator.simulate(spec, batch, n, "none")
-        memory = evaluator.footprint_bytes(spec, batch, pipelined=n > 1)
+        sim = evaluator.simulate(spec, batch, n, "none", workload=workload)
+        memory = evaluator.footprint_bytes(
+            spec, batch, pipelined=n > 1, workload=workload
+        )
         return self._report(spec, batch, sim, memory, n=n, strategy="none")

@@ -57,6 +57,41 @@ def test_bench_list_and_unknown(capsys):
     assert main(["bench", "not-a-fig"]) == 2
 
 
+def test_sweep_routing_axis_flags(capsys):
+    code = main([
+        "sweep", "--objective", "timeline", "--systems", "timeline",
+        "--specs", "GPT-S", "--world-sizes", "8", "--batches", "1024",
+        "--ns", "2", "--strategies", "none",
+        "--top-ks", "none", "2", "--dtypes", "fp32",
+        "--imbalances", "1.0", "4.0",
+        "--quiet", "--json", "-",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 4  # {k in None,2} x {skew in 1,4}
+    scenarios = [p["scenario"] for p in payload]
+    assert {s["top_k"] for s in scenarios} == {None, 2}
+    assert all(s["dtype"] == "fp32" for s in scenarios)
+    assert {s["imbalance"] for s in scenarios} == {1.0, 4.0}
+
+
+def test_smoke_grid_exercises_the_routing_workload():
+    """The pinned CI grid carries one top_k=2 + skewed-gating scenario,
+    and it must price strictly above its uniform k=1 sibling."""
+    results = Study.from_spec(SMOKE_SPEC).run()
+    routed = [r for r in results if r.scenario.top_k == 2]
+    assert len(routed) == 1
+    assert routed[0].scenario.imbalance > 1.0
+    sibling = next(
+        r for r in results
+        if r.scenario.top_k is None
+        and r.scenario.batch == routed[0].scenario.batch
+        and r.scenario.n == routed[0].scenario.n
+        and r.scenario.strategy == routed[0].scenario.strategy
+    )
+    assert routed[0]["makespan"] > sibling["makespan"]
+
+
 def test_study_spec_file_round_trip(tmp_path, capsys):
     spec = {
         "grids": [

@@ -111,6 +111,21 @@ class TestStudyBuilder:
         assert rebuilt.scenarios() == study.scenarios()
         assert rebuilt.describe() == study.describe()
 
+    def test_routing_axes_round_trip_and_overlay(self):
+        study = Study(GRID, objective="timeline").where(
+            top_k=2, dtype="bf16", imbalance=4.0
+        )
+        scenarios = study.scenarios()
+        assert all(
+            (sc.top_k, sc.dtype, sc.imbalance) == (2, "bf16", 4.0)
+            for sc in scenarios
+        )
+        rebuilt = Study.from_spec({
+            "scenarios": study.describe()["scenarios"],
+            "objective": "timeline",
+        })
+        assert rebuilt.scenarios() == scenarios
+
     def test_from_spec_builds_grids(self):
         study = Study.from_spec(
             {

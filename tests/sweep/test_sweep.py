@@ -76,11 +76,31 @@ class TestScenario:
             {"straggler": "single-slow-gpu", "straggler_seed": 3},
             {"num_experts": 0},
             {"capacity_factor": 0.0},
+            {"top_k": 0},
+            # Over-wide fan-out fails eagerly, against the preset's E or
+            # the num_experts override — not deep inside a sweep worker.
+            {"top_k": 128},
+            {"num_experts": 4, "top_k": 8},
+            {"dtype": "fp12"},
+            {"imbalance": 0.5},
+            {"imbalance": float("nan")},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             Scenario(**kwargs)
+
+    def test_routing_axes_extend_the_key_and_label(self):
+        plain = Scenario(system="mpipemoe", batch=4096)
+        for kwargs in ({"top_k": 2}, {"dtype": "fp32"}, {"imbalance": 4.0}):
+            routed = Scenario(system="mpipemoe", batch=4096, **kwargs)
+            assert routed.key() != plain.key(), kwargs
+        label = Scenario(
+            system="mpipemoe", top_k=2, dtype="bf16", imbalance=4.0
+        ).label()
+        assert "k=2" in label and "bf16" in label and "skew=4x" in label
+        # Default routing does not clutter homogeneous labels.
+        assert "k=" not in plain.label() and "skew" not in plain.label()
 
     def test_hetero_axes_extend_the_key_and_label(self):
         plain = Scenario(system="mpipemoe", batch=4096)
@@ -386,9 +406,88 @@ class TestHeteroScenarios:
         # More experts per rank => more model-state memory, same timing.
         assert more_experts["peak_memory_bytes"] > plain["peak_memory_bytes"]
         assert more_experts["iteration_time"] == plain["iteration_time"]
-        # Capacity padding grows the processed batch => slower.
+        # Capacity padding grows the processed rows => slower; the
+        # reported batch stays the raw token count.
         assert padded["iteration_time"] > plain["iteration_time"]
-        assert padded["batch"] == 3072
+        assert padded["batch"] == 2048
+
+    def test_capacity_factor_uses_the_per_expert_dispatch_formula(self):
+        """Regression for the runner's old ``ceil(B * f)`` semantics.
+
+        Capacity now follows core/dispatch.capacity_for —
+        ``C = ceil(f * B * k / E)`` per expert, with every device
+        pricing its padded E*C buffer.  The two definitions disagree
+        whenever f*B doesn't divide by E: B=2000, f=1.1, E=64 gives
+        ceil(B*f) = 2200 but E * ceil(f*B/E) = 64 * 35 = 2240.
+        """
+        from repro.config import get_preset
+        from repro.core.dispatch import capacity_for
+        from repro.sweep import scenario_workload
+
+        sc = Scenario(system="fastmoe", spec="GPT-S", world_size=8,
+                      batch=2000, capacity_factor=1.1)
+        workload = scenario_workload(sc)
+        spec = get_preset(sc.spec)
+        load = workload.load(spec, sc.batch, sc.world_size)
+        assert load.capacity == capacity_for(2000, 64, 1, 1.1) == 35
+        assert load.device_rows == 64 * 35 == 2240
+        assert load.device_rows != 2200  # the old whole-batch rounding
+        # And the priced timing actually reflects the corrected rows:
+        # identical to an explicit workload carrying the same factor.
+        from repro.sweep import evaluate_system, shared_context
+
+        values = evaluate_system(sc)
+        ctx = shared_context(sc.world_size)
+        direct = ctx.evaluator.simulate(
+            spec, sc.batch, 1, "none", sequential=True, gemm_derate=0.6,
+            workload=workload,
+        )
+        assert values["iteration_time"] == direct.makespan
+
+    def test_routing_axes_reach_the_evaluation(self):
+        from repro.sweep import evaluate_system
+
+        base = dict(system="mpipemoe", spec="GPT-XL", world_size=64,
+                    batch=8192)
+        plain = evaluate_system(Scenario(**base))
+        skewed = evaluate_system(Scenario(**base, imbalance=4.0))
+        wide = evaluate_system(Scenario(**base, dtype="fp32"))
+        k2 = evaluate_system(Scenario(**base, top_k=2))
+        # Skew inflates the bottleneck device's rows => slower, and the
+        # adaptive granularity coarsens like a bigger batch would.
+        assert skewed["iteration_time"] > plain["iteration_time"]
+        assert skewed["n"] > plain["n"]
+        # Wider activations slow the comm-bound point.
+        assert wide["iteration_time"] > plain["iteration_time"]
+        # k=2 routes 2x the rows: equivalent to doubling B (uniform).
+        doubled = evaluate_system(Scenario(**{**base, "batch": 16384}))
+        assert k2["iteration_time"] == doubled["iteration_time"]
+        assert k2["n"] == doubled["n"]
+
+    def test_explicit_default_routing_axes_price_identically(self):
+        """top_k=1 / fp16 / imbalance=1.0 spell out the defaults: same
+        physical values as the unrouted scenario (new hash, same
+        numbers — the degenerate-workload contract through the sweep)."""
+        from repro.sweep import evaluate_system
+
+        base = dict(system="mpipemoe", spec="GPT-S", world_size=8,
+                    batch=2048)
+        plain = evaluate_system(Scenario(**base))
+        routed = evaluate_system(
+            Scenario(**base, top_k=1, dtype="fp16", imbalance=1.0)
+        )
+        plain.pop("_evaluator_cache"), routed.pop("_evaluator_cache")
+        assert routed == plain
+
+    def test_grid_routing_axes(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), ns=(2,), top_ks=(None, 2),
+            dtypes=(None, "fp32"), imbalances=(1.0, 4.0),
+        )
+        assert len(grid) == 8
+        assert {s.top_k for s in grid} == {None, 2}
+        assert {s.dtype for s in grid} == {None, "fp32"}
+        assert {s.imbalance for s in grid} == {1.0, 4.0}
 
     def test_jitter_seed_reaches_the_evaluation(self):
         from repro.sweep import scenario_hetero
