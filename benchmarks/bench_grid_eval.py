@@ -1,0 +1,192 @@
+"""Whole-grid evaluation benchmark: the vectorized sweep fast path.
+
+One measurement with two gates, on a neutral timeline grid of 12,288
+scenarios (six template groups — S1 and S4 across the granularity axis
+— x 2,048 batches around the paper's B=32k operating point, GPT-S on
+8 GPUs):
+
+1. **Byte-identity** — every value the vectorized pass produces must be
+   bit-for-bit identical (``struct.pack`` comparison, no tolerance) to
+   the memoized per-scenario evaluator's.  The batched path mirrors the
+   scalar arithmetic operation for operation and the schedule-replay
+   engine re-validates event order per scenario, so this is expected to
+   hold exactly.
+2. **Throughput** — the vectorized runner must evaluate the grid at
+   >= 50x the serial runner's points/second.  The serial baseline runs
+   the same ``SweepRunner`` with ``vectorize=False`` on the ``serial``
+   backend against a fresh context pool (cold memo, like any first
+   sweep).
+
+Results append to ``benchmarks/results/BENCH_grid.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_grid_eval.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import struct
+import sys
+import time
+
+from repro.sweep import SweepRunner, evaluate_timeline
+from repro.sweep.grid import ScenarioGrid
+from repro.sweep import runner as runner_mod
+from repro.utils import Table
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_grid.json"
+
+SPEC = "GPT-S"
+WORLD = 8
+#: Six template groups spanning the granularity axis at both ends of
+#: the reuse spectrum: S1 at n=(4,8,16), S4 at n=(8,16,32).  These keep
+#: stable event orders across a dense batch axis (1-4 replay segments
+#: per group).  S2@n=16 and S1@n=32 flip event order dozens of times —
+#: replay-segmentation stress cases covered by the byte-identity tests,
+#: not a representative whole-grid scan.
+TEMPLATES = (("S1", (4, 8, 16)), ("S4", (8, 16, 32)))
+#: 2,048 even batches spanning [32768, 36864): a realistic whole-grid
+#: scan around the paper's B=32k point.  12,288 scenarios total.
+#: The gate's contract is a >= 10k-point grid — the fixed per-group
+#: costs (schedule recording, replay segments) only amortize at that
+#: scale, so ``--smoke`` runs the same grid; the whole benchmark takes
+#: ~10 s, which is already CI-sized.
+BATCH_START = 32768
+BATCH_COUNT = 2048
+
+SPEEDUP_GATE = 50.0
+
+
+def build_grid(args) -> list:
+    batches = tuple(range(BATCH_START, BATCH_START + 2 * BATCH_COUNT, 2))
+    scenarios = []
+    for strategy, ns in TEMPLATES:
+        scenarios.extend(
+            ScenarioGrid(
+                systems=("timeline",),
+                specs=(SPEC,),
+                world_sizes=(WORLD,),
+                batches=batches,
+                ns=ns,
+                strategies=(strategy,),
+            ).scenarios()
+        )
+    return scenarios
+
+
+def fresh_contexts() -> None:
+    """Empty the shared context pool: every timed run starts memo-cold."""
+    with runner_mod._POOL_LOCK:
+        runner_mod._CONTEXTS.clear()
+
+
+def timed_run(runner: SweepRunner, scenarios) -> tuple[list, float]:
+    fresh_contexts()
+    t0 = time.perf_counter()
+    results = runner.run(scenarios)
+    return results, time.perf_counter() - t0
+
+
+def value_bits(values: dict) -> tuple:
+    """A hashable bit-exact image of one scenario's values."""
+    return tuple(
+        (k, struct.pack("<d", v) if isinstance(v, float) else v)
+        for k, v in sorted(values.items())
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: same >= 10k-point grid (the gate's "
+                             "contract; ~10 s total), tagged in the JSON")
+    args = parser.parse_args(argv)
+
+    scenarios = build_grid(args)
+    points = len(scenarios)
+    groups = ", ".join(f"{s}@n={list(ns)}" for s, ns in TEMPLATES)
+    print(f"{points} timeline scenarios ({SPEC} x {WORLD} GPUs, {groups})")
+
+    vectorized = SweepRunner(evaluate_timeline, backend="vectorized")
+    serial = SweepRunner(evaluate_timeline, backend="serial", vectorize=False)
+
+    # Warm the process-level caches both paths share (template compilation,
+    # spec presets, numpy dispatch) on a thin slice so neither timed run
+    # pays first-touch costs the other then inherits.  The scenario memo
+    # itself is cleared again before each timed run.
+    warmup = scenarios[:: max(1, points // 128)]
+    vectorized.run(warmup)
+    serial.run(warmup)
+
+    vec_results, vec_wall = timed_run(vectorized, scenarios)
+    serial_results, serial_wall = timed_run(serial, scenarios)
+
+    mismatches = sum(
+        value_bits(v.values) != value_bits(s.values)
+        for v, s in zip(vec_results, serial_results)
+    )
+    identical = mismatches == 0
+    speedup = serial_wall / vec_wall
+
+    table = Table(
+        ["path", "wall (s)", "points/s", "us/point"],
+        title=f"Whole-grid evaluation, {points} scenarios",
+    )
+    table.add_row(["serial (memoized)", f"{serial_wall:.3f}",
+                   f"{points / serial_wall:,.0f}",
+                   f"{serial_wall / points * 1e6:.1f}"])
+    table.add_row(["vectorized", f"{vec_wall:.3f}",
+                   f"{points / vec_wall:,.0f}",
+                   f"{vec_wall / points * 1e6:.2f}"])
+    print(table)
+    print(f"speedup: {speedup:.1f}x (gate >= {SPEEDUP_GATE:g}x); "
+          f"byte-identical: {identical} ({mismatches} mismatches)")
+
+    ok = True
+    if not identical:
+        print(f"FAIL: {mismatches}/{points} scenarios diverge from the "
+              f"memoized evaluator", file=sys.stderr)
+        ok = False
+    if speedup < SPEEDUP_GATE:
+        print(f"FAIL: vectorized speedup {speedup:.1f}x below the "
+              f"{SPEEDUP_GATE:g}x gate", file=sys.stderr)
+        ok = False
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    record = {
+        "benchmark": "bench_grid_eval",
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "spec": SPEC,
+        "world_size": WORLD,
+        "points": points,
+        "serial_wall_s": serial_wall,
+        "vectorized_wall_s": vec_wall,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "byte_identical": identical,
+        "mismatches": mismatches,
+        "ok": ok,
+    }
+    history: list = []
+    if RESULTS_JSON.is_file():
+        try:
+            previous = json.loads(RESULTS_JSON.read_text())
+            if isinstance(previous, list):
+                history = previous
+        except (OSError, json.JSONDecodeError):
+            pass  # unreadable trajectory: restart it rather than crash
+    history.append(record)
+    RESULTS_JSON.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    print(f"appended run {len(history)} to {RESULTS_JSON}")
+
+    if not ok:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,8 +23,8 @@ The pieces:
   ``.pareto()``, ``.table()``, ``.group_by()``, ``.cache_stats()``,
   ``.to_json()``.
 * :mod:`repro.api.backends` — the execution-backend registry
-  (``serial`` / ``thread`` / ``process`` / ``asyncio``), third-party
-  extensible via :func:`register_backend`.
+  (``serial`` / ``thread`` / ``process`` / ``asyncio`` /
+  ``vectorized``), third-party extensible via :func:`register_backend`.
 * ``python -m repro`` — the CLI over all of it (:mod:`repro.api.cli`).
 
 Grid construction (:class:`Scenario`, :class:`ScenarioGrid`,
@@ -40,6 +40,7 @@ from repro.api.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    VectorizedBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -52,6 +53,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "AsyncioBackend",
+    "VectorizedBackend",
     "register_backend",
     "get_backend",
     "available_backends",

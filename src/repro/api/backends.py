@@ -1,7 +1,7 @@
 """Pluggable execution backends for studies and sweeps.
 
 A :class:`Backend` turns an evaluator function and a list of work items
-into a list of results, preserving item order.  Four implementations
+into a list of results, preserving item order.  Five implementations
 ship registered under well-known names:
 
 * ``serial`` — in-process loop; the reference semantics.
@@ -15,6 +15,10 @@ ship registered under well-known names:
   evaluators (awaited concurrently, bounded by ``workers``) or plain
   callables (via ``asyncio.to_thread``); built for latency-bound
   evaluators such as remote or I/O-backed objectives.
+* ``vectorized`` — whole-grid evaluation: evaluators with a batched
+  twin registered in :mod:`repro.perfmodel.batcheval` price every item
+  in one numpy pass (bit-identical values, no per-item Python); others
+  degrade to the serial loop.
 
 Third-party backends plug in through :func:`register_backend` (usable
 as a decorator) and are then selectable by name everywhere a backend is
@@ -143,6 +147,30 @@ class AsyncioBackend(Backend):
         return list(await asyncio.gather(*(one(item) for item in items)))
 
 
+class VectorizedBackend(Backend):
+    """Whole-grid evaluation through the batched evaluator registry.
+
+    Evaluators with a registered batched twin (see
+    :func:`repro.perfmodel.batcheval.register_batch_evaluator`) price
+    every item in one numpy pass — same values as the serial loop, bit
+    for bit, minus the per-item cache-stats entry a batched pass cannot
+    honestly attribute.  Unregistered evaluators degrade to the in-line
+    serial loop, so the backend is always safe to select.  ``workers``
+    is ignored: the batched pass is single-process by construction.
+    """
+
+    name = "vectorized"
+
+    def map(self, fn, items, *, workers: int = 1) -> list:
+        self._require_sync(fn)
+        # Imported lazily: this module stays repro-import-free at import
+        # time (see the module docstring), and the batched twins pull in
+        # the whole evaluation stack.
+        from repro.perfmodel.batcheval import batch_map
+
+        return batch_map(fn, list(items))
+
+
 #: name -> zero-arg factory returning a fresh Backend.
 _REGISTRY: dict[str, Callable[[], Backend]] = {}
 
@@ -215,3 +243,4 @@ register_backend("serial", SerialBackend)
 register_backend("thread", ThreadBackend)
 register_backend("process", ProcessBackend)
 register_backend("asyncio", AsyncioBackend)
+register_backend("vectorized", VectorizedBackend)

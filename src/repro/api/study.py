@@ -4,7 +4,7 @@ A study composes four things the internals used to take as scattered
 kwargs: *what* to evaluate (a :class:`~repro.sweep.grid.ScenarioGrid`,
 a :class:`~repro.sweep.grid.ScenarioList`, or any iterable of
 scenarios), *how* to price each point (an objective — ``"system"``,
-``"timeline"``, or a user callable), *where* it runs (an execution
+``"timeline"``, ``"eq10"``, or a user callable), *where* it runs (an execution
 backend from :mod:`repro.api.backends` plus a worker count), and the
 caching policy (on-disk scenario cache, evaluator-memo bound).
 
@@ -41,6 +41,7 @@ from repro.sweep.grid import (
 )
 from repro.sweep.runner import (
     SweepRunner,
+    evaluate_eq10,
     evaluate_system,
     evaluate_timeline,
 )
@@ -49,6 +50,7 @@ from repro.sweep.runner import (
 OBJECTIVES: dict[str, Callable[[Scenario], dict]] = {
     "system": evaluate_system,
     "timeline": evaluate_timeline,
+    "eq10": evaluate_eq10,
 }
 
 
@@ -76,6 +78,7 @@ class Study:
         workers: int = 1,
         cache_dir=None,
         evaluator_max_entries: int | None = None,
+        vectorize: bool | None = None,
     ) -> None:
         self._scenarios: list[Scenario] = [] if grid is None else as_scenarios(grid)
         self._objective = objective
@@ -87,6 +90,7 @@ class Study:
             raise ValueError("workers must be >= 1")
         self._cache_dir = cache_dir
         self._max_entries = evaluator_max_entries
+        self._vectorize = vectorize
         self._overlay: dict = {}
 
     # -- fluent builders (copy-on-write) ---------------------------------------
@@ -98,6 +102,7 @@ class Study:
         study._workers = self._workers
         study._cache_dir = self._cache_dir
         study._max_entries = self._max_entries
+        study._vectorize = self._vectorize
         study._overlay = dict(self._overlay)
         for key, value in changes.items():
             setattr(study, key, value)
@@ -133,6 +138,14 @@ class Study:
     def limit_memo(self, max_entries: int | None) -> "Study":
         """Bound every shared evaluator memo (LRU) for oversized grids."""
         return self._clone(_max_entries=max_entries)
+
+    def vectorize(self, vectorize: bool | None = True) -> "Study":
+        """Control the whole-grid fast path (see
+        :class:`~repro.sweep.runner.SweepRunner`): ``True`` forces the
+        batched numpy pass for objectives with a batched twin, ``False``
+        pins the per-scenario memoized path, ``None`` restores the
+        automatic default (engage on large in-line batches)."""
+        return self._clone(_vectorize=vectorize)
 
     def where(self, **fields) -> "Study":
         """Overlay scenario fields onto every point (applied at run time).
@@ -214,6 +227,7 @@ class Study:
             "workers": self._workers,
             "cache_dir": None if self._cache_dir is None else str(self._cache_dir),
             "evaluator_max_entries": self._max_entries,
+            "vectorize": self._vectorize,
         }
 
     @classmethod
@@ -230,7 +244,7 @@ class Study:
             raise TypeError(f"study spec must be a dict, got {type(spec).__name__}")
         known = {
             "grids", "scenarios", "objective", "backend", "workers",
-            "cache_dir", "evaluator_max_entries", "cluster",
+            "cache_dir", "evaluator_max_entries", "cluster", "vectorize",
         }
         unknown = sorted(set(spec) - known)
         if unknown:
@@ -250,6 +264,7 @@ class Study:
             workers=spec.get("workers", 1),
             cache_dir=spec.get("cache_dir"),
             evaluator_max_entries=spec.get("evaluator_max_entries"),
+            vectorize=spec.get("vectorize"),
         )
         cluster = spec.get("cluster")
         if cluster:
@@ -284,6 +299,7 @@ class Study:
             workers=self._workers,
             backend=self._backend,
             evaluator_max_entries=self._max_entries,
+            vectorize=self._vectorize,
         )
 
     def run(self) -> ResultSet:

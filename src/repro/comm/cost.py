@@ -61,6 +61,18 @@ class NcclCostModel:
             bw *= self.bandwidth_scale
         return bw
 
+    def collective_bandwidth(self, world_size: int | None = None) -> float:
+        """Public view of the effective collective bandwidth (bytes/s).
+
+        Batched evaluation (``repro.perfmodel.batcheval``) prices the
+        latency/bandwidth split of :meth:`alltoall_time` and
+        :meth:`decomposed_alltoall_time` as array math and needs the
+        same per-GPU rate those methods use internally.
+        """
+        return self._collective_bandwidth(
+            self.effective_world if world_size is None else world_size
+        )
+
     @property
     def effective_world(self) -> int:
         return (

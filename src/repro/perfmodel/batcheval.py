@@ -1,0 +1,549 @@
+"""Whole-grid evaluation: price every scenario of a sweep as array math.
+
+The per-scenario fast path (compiled DAGs + the memoized
+:class:`~repro.perfmodel.evalcache.Evaluator`) still pays Python once
+per scenario — prohibitive for the 10k-1M-point studies the paper's
+sweep artifact wants.  This module removes the per-scenario Python:
+
+* scenarios sharing an ``(n, strategy, decomposed, sequential)``
+  timeline template (and cluster shape) are grouped, their
+  :class:`~repro.pipeline.schedule.MoEStageCosts` computed as (S,)
+  numpy columns (:func:`stage_cost_columns`), stacked into a work
+  matrix (:meth:`TimelineTemplate.works_matrix`), and priced through
+  the schedule-replay engine (:func:`batched_makespans`);
+* the analytic Eq. 10 selection is broadcast across the grid the same
+  way (:func:`batch_evaluate_eq10`): ``WorkloadSpec.device_rows`` and
+  the ``HardwareRates`` arithmetic run over batch/top-k/imbalance
+  axes at once.
+
+Everything is bit-for-bit identical to the memoized scalar path: each
+numpy expression mirrors its scalar source operation for operation, and
+the replay engine validates per scenario that the recorded event order
+is the one the scalar engine would execute (divergent scenarios are
+re-recorded or priced scalar — never approximated).
+
+The registry at the bottom maps scalar evaluator functions to their
+batched twins; :func:`batch_map` is what the sweep runner and the
+``"vectorized"`` backend call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.comm.cost import (
+    NCCL_LATENCY,
+    P2P_LATENCY,
+    STRAGGLER_FACTOR,
+    NcclCostModel,
+)
+from repro.config import BYTES_PER_ELEM, MoELayerSpec
+from repro.hardware.device import DeviceSpec
+from repro.hardware.interference import PAPER_INTERFERENCE
+from repro.memory.strategies import STRATEGIES
+from repro.perfmodel.cost import HardwareRates
+from repro.perfmodel.workload import WorkloadSpec
+from repro.pipeline.schedule import (
+    GEMM_SATURATION_ROWS,
+    TIMING_BYTES_PER_ELEM,
+    compile_timeline,
+)
+from repro.sim.engine import CompiledDag, SimEngine, replay_schedule
+from repro.sweep.grid import Scenario
+from repro.sweep.runner import (
+    scenario_hetero,
+    scenario_workload,
+    shared_context,
+    _scenario_spec,
+)
+
+#: Distinct recorded schedules tried per template group before the
+#: stragglers fall back to the scalar compiled path.  Real grids vary
+#: works smoothly with batch, so a handful of schedules usually covers
+#: thousands of scenarios; a group that keeps diverging (wide batch
+#: ranges at high n flip op orderings often) stops paying record+replay
+#: overhead past this point.
+MAX_SCHEDULES_PER_GROUP = 64
+
+
+# -- batched routing geometry (WorkloadSpec.load over arrays) -----------------
+def batched_device_rows(
+    np,
+    spec: MoELayerSpec,
+    world_size: int,
+    batches,
+    workloads: Sequence[WorkloadSpec | None],
+):
+    """Bottleneck-device rows per scenario — ``WorkloadSpec.load`` vectorized.
+
+    ``batches`` is an (S,) int array; ``workloads[s] is None`` marks the
+    seed path (rows = batch, through integer arithmetic only).  Mirrors
+    the scalar branch structure exactly: the e == 1 collapse, the
+    uniform-routing integer fast path, the skewed bottleneck ratio, and
+    the equal-shaped capacity buffers.
+    """
+    batch = np.asarray(batches, dtype=np.int64)
+    rows = batch.copy()
+    idx = [s for s, wl in enumerate(workloads) if wl is not None]
+    if not idx:
+        return rows
+    e = spec.num_experts
+    w = max(1, world_size)
+    experts_per_rank = -(-e // w)
+    sub = np.asarray(idx)
+    b = batch[sub]
+    k = np.asarray(
+        [
+            workloads[s].top_k if workloads[s].top_k is not None else spec.top_k
+            for s in idx
+        ],
+        dtype=np.int64,
+    )
+    imb = np.asarray([workloads[s].imbalance for s in idx])
+    routed = b * k
+    routed_f = routed.astype(np.float64)
+    if e == 1:
+        hot = routed_f
+        cold = routed_f
+    else:
+        uniform = routed / e
+        hot = np.minimum(imb * uniform, routed_f)
+        cold = (routed - hot) / (e - 1)
+
+    out = np.empty(len(idx), dtype=np.int64)
+    capped = np.asarray([workloads[s].capacity_factor is not None for s in idx])
+    free = ~capped
+    if free.any():
+        r_u = routed[free]
+        dr = r_u.copy()
+        skew = imb[free] != 1.0
+        if skew.any():
+            r_s = r_u[skew]
+            hot_rank = hot[free][skew] + (experts_per_rank - 1) * cold[free][skew]
+            uniform_rank = experts_per_rank * (r_s / e)
+            dr[skew] = np.maximum(
+                r_s, np.ceil(r_s * hot_rank / uniform_rank).astype(np.int64)
+            )
+        out[free] = dr
+    if capped.any():
+        f = np.asarray([workloads[s].capacity_factor for s in idx])[capped]
+        capacity = np.maximum(
+            1, np.ceil(f * b[capped] * k[capped] / e).astype(np.int64)
+        )
+        out[capped] = experts_per_rank * w * capacity
+    rows[sub] = out
+    return rows
+
+
+# -- batched stage costs (MoEStageCosts.compute over arrays) ------------------
+def stage_cost_columns(
+    np,
+    spec: MoELayerSpec,
+    device: DeviceSpec,
+    comm: NcclCostModel,
+    rows,
+    bytes_per_elem,
+    n: int,
+    gemm_derate: float = 1.0,
+) -> dict:
+    """:meth:`MoEStageCosts.compute` for a whole group at once.
+
+    ``rows`` and ``bytes_per_elem`` are (S,) int arrays; the returned
+    dict maps each :class:`MoEStageCosts` field to an (S,) float array,
+    ready for :meth:`TimelineTemplate.works_matrix`.  Every expression
+    copies the scalar source left to right, so each column equals the
+    scalar field bit for bit.
+    """
+    b = -(-rows // n)
+    m, h = spec.d_model, spec.d_hidden
+    gemm_flops = 2.0 * b * m * h
+    comm_bytes = (b * m * bytes_per_elem).astype(np.float64)
+    rate = gemm_derate * (b / (b + GEMM_SATURATION_ROWS))
+    sustained = device.sustained_gemm_flops
+    launch = device.kernel_launch_overhead
+    pcie = device.pcie_bandwidth
+
+    def gemm_time(num: int):
+        return (num * gemm_flops / sustained + num * launch) / rate
+
+    def memcpy_time(nbytes):
+        return nbytes / pcie + 1 * launch
+
+    w = comm.effective_world
+    if w == 1:
+        s_time = np.zeros(len(b))
+        p2p_s_time = s_time
+    else:
+        cross = comm_bytes * (w - 1) / w
+        s_time = NCCL_LATENCY + cross / comm.collective_bandwidth(w)
+        p2p_bw = comm.collective_bandwidth(w) / STRAGGLER_FACTOR
+        p2p_s_time = (w - 1) * P2P_LATENCY + cross / p2p_bw
+    return {
+        "s_time": s_time,
+        "c_fw_time": gemm_time(2),
+        "c_bw_time": gemm_time(4),
+        "recompute_time": gemm_time(1),
+        "offload_tdi_time": memcpy_time(b * m * bytes_per_elem),
+        "offload_tm_time": memcpy_time(b * h * bytes_per_elem),
+        "p2p_s_time": p2p_s_time,
+    }
+
+
+# -- batched compiled pricing -------------------------------------------------
+def batched_makespans(
+    engine: SimEngine,
+    dag: CompiledDag,
+    works_matrix,
+    max_schedules: int = MAX_SCHEDULES_PER_GROUP,
+):
+    """Makespan of every row of ``works_matrix`` under one engine.
+
+    Records the schedule of a representative scenario and replays it
+    over all rows at once; rows whose event order diverges pick a new
+    representative, up to ``max_schedules`` recordings, after which the
+    stragglers run the scalar compiled path.  Every row's result is
+    bit-for-bit ``engine.compiled_makespan(dag, works_matrix[s])``.
+    """
+    import numpy as np
+
+    W = np.asarray(works_matrix, dtype=np.float64)
+    out = np.empty(W.shape[0])
+    remaining = np.arange(W.shape[0])
+    schedules = 0
+    while remaining.size:
+        if schedules >= max_schedules:
+            for s in remaining:
+                out[s] = engine.compiled_makespan(dag, W[s].tolist())
+            break
+        rep = int(remaining[0])
+        trace = engine.record_compiled_schedule(dag, W[rep].tolist())
+        schedules += 1
+        spans, valid = replay_schedule(trace, W[remaining])
+        if not valid[0]:  # defensive: a representative always self-validates
+            out[rep] = engine.compiled_makespan(dag, W[rep].tolist())
+            remaining = remaining[1:]
+            continue
+        out[remaining[valid]] = spans[valid]
+        remaining = remaining[~valid]
+    return out
+
+
+def _group_makespans(ctx, dag, W):
+    """Worst-profile makespans: the hetero ``max()`` as elementwise maximum."""
+    import numpy as np
+
+    profiles = ctx.sim_profiles
+    if not profiles:
+        return batched_makespans(ctx.engine, dag, W)
+    spans = batched_makespans(ctx.engine_for(profiles[0]), dag, W)
+    for profile in profiles[1:]:
+        spans = np.maximum(
+            spans, batched_makespans(ctx.engine_for(profile), dag, W)
+        )
+    return spans
+
+
+# -- the timeline objective, batched ------------------------------------------
+def _context_key(sc: Scenario) -> tuple:
+    return (sc.world_size, sc.straggler, sc.severity, sc.straggler_seed)
+
+
+def batch_evaluate_timeline(scenarios: Iterable[Scenario]) -> list[dict]:
+    """Batched twin of :func:`repro.sweep.runner.evaluate_timeline`.
+
+    Groups scenarios by (cluster shape, spec, n, strategy, decomposed,
+    sequential), prices each group in one numpy pass, and returns the
+    values dicts in scenario order — each bit-identical to what the
+    memoized scalar evaluator computes for that scenario.  Per-scenario
+    validation errors raise in scenario order, like a serial map.
+    """
+    import numpy as np
+
+    scenarios = list(scenarios)
+    out: list = [None] * len(scenarios)
+    groups: dict[tuple, dict] = {}
+    for i, sc in enumerate(scenarios):
+        if sc.n is None:
+            raise ValueError("timeline scenarios need an explicit n")
+        workload = scenario_workload(sc)
+        if workload is not None:
+            workload.resolved_k(_scenario_spec(sc))  # top_k check, in order
+        key = (
+            sc.world_size,
+            sc.straggler,
+            sc.severity,
+            sc.straggler_seed,
+            sc.spec,
+            sc.num_experts,
+            sc.n,
+            sc.strategy or "none",
+            sc.decomposed_comm,
+            sc.sequential,
+        )
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = {
+                "scenario": sc,
+                "spec": _scenario_spec(sc),
+                "idx": [],
+                "batches": [],
+                "workloads": [],
+            }
+        group["idx"].append(i)
+        group["batches"].append(sc.batch)
+        group["workloads"].append(workload)
+
+    for group in groups.values():
+        sc = group["scenario"]
+        spec = group["spec"]
+        ctx = shared_context(sc.world_size, scenario_hetero(sc))
+        comm = ctx.comm_model()
+        rows = batched_device_rows(
+            np, spec, comm.effective_world, group["batches"], group["workloads"]
+        )
+        bpe = np.asarray(
+            [
+                TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
+                for wl in group["workloads"]
+            ],
+            dtype=np.int64,
+        )
+        columns = stage_cost_columns(np, spec, ctx.device, comm, rows, bpe, sc.n)
+        compiled = compile_timeline(
+            sc.n,
+            sc.strategy or "none",
+            decomposed_comm=sc.decomposed_comm,
+            sequential=sc.sequential,
+        )
+        # Work vectors are a pure function of the stage-cost columns, and
+        # the columns quantize rows through ``b = ceil(rows / n)`` — dense
+        # batch axes collapse onto far fewer distinct vectors (an n=16
+        # group keeps ~1/16th).  Price each distinct vector once and
+        # scatter; identical inputs make identical (bit-for-bit) outputs.
+        names = sorted(columns)
+        colmat = np.stack([columns[f] for f in names], axis=1)
+        _, first, inverse = np.unique(
+            colmat, axis=0, return_index=True, return_inverse=True
+        )
+        W = compiled.template.works_matrix(
+            {f: columns[f][first] for f in names}, len(first)
+        )
+        spans = _group_makespans(ctx, compiled.dag, W)[inverse].tolist()
+        strategy = sc.strategy or "none"
+        n = sc.n
+        for j, i in enumerate(group["idx"]):
+            value = spans[j]
+            out[i] = {
+                "makespan": value,
+                "iteration_time": value,
+                "n": n,
+                "strategy": strategy,
+            }
+    return out
+
+
+# -- the analytic Eq. 10 selection, batched -----------------------------------
+def _batched_reuse_memory_bytes(np, spec, world: int, n: int, batches, rows, neutral):
+    """Eq. 1-5 peak bytes under pipelined reuse, over arrays (int64).
+
+    Mirrors ``FootprintModel.total_bytes(batch, pipelined=True,
+    reuse_n=n)``: fp32 accounting regardless of wire dtype, ``rows``
+    sizing the dispatch-side tensors, and the Eq. 5 savings truncated
+    exactly like the scalar ``int()``.
+    """
+    if spec.num_experts % world:
+        raise ValueError(
+            f"num_experts {spec.num_experts} must divide evenly across "
+            f"world_size {world}"
+        )
+    m, h = spec.d_model, spec.d_hidden
+    experts_per_rank = spec.num_experts // world
+    states = 4 * (
+        spec.gate_params + experts_per_rank * spec.expert_params
+    ) * BYTES_PER_ELEM
+    act_elems = np.where(
+        neutral,
+        4 * batches * m + batches * h,
+        2 * batches * m + 2 * rows * m + rows * h,
+    )
+    act = act_elems * BYTES_PER_ELEM
+    saved = 0
+    if n >= 2:
+        per_row = 2 * m * (n - 2) / n + h * (n - 1) / n  # group scalar
+        # Eq. 5 sizes by the dispatch rows; workload-free scenarios have
+        # rows == batch already, so ``rows`` covers the scalar None case.
+        saved = 2 * (rows * per_row).astype(np.int64) * BYTES_PER_ELEM
+    return states + act + act - saved
+
+
+def batch_evaluate_eq10(scenarios: Iterable[Scenario]) -> list[dict]:
+    """Batched twin of :func:`repro.sweep.runner.evaluate_eq10`.
+
+    Runs the Eq. 10 strategy selection for every scenario in one numpy
+    pass per (cluster shape, spec, n) group: device rows, the
+    ``HardwareRates`` stage costs, and the footprint capacity check all
+    broadcast over the batch/top-k/imbalance axes.  Values are
+    bit-identical to the scalar selector's.
+    """
+    import numpy as np
+
+    scenarios = list(scenarios)
+    out: list = [None] * len(scenarios)
+    groups: dict[tuple, dict] = {}
+    for i, sc in enumerate(scenarios):
+        if sc.n is None:
+            raise ValueError("eq10 scenarios need an explicit n")
+        if sc.decomposed_comm or sc.sequential:
+            raise ValueError(
+                "decomposed_comm/sequential only apply to the 'timeline' "
+                "backend, not 'eq10'"
+            )
+        if sc.strategy is not None:
+            raise ValueError(
+                "'eq10' selects the strategy itself; drop the strategy axis"
+            )
+        workload = scenario_workload(sc)
+        spec = _scenario_spec(sc)
+        if workload is not None:
+            workload.resolved_k(spec)
+        key = _context_key(sc) + (sc.spec, sc.num_experts, sc.n)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = {
+                "scenario": sc,
+                "spec": spec,
+                "idx": [],
+                "batches": [],
+                "workloads": [],
+            }
+        group["idx"].append(i)
+        group["batches"].append(sc.batch)
+        group["workloads"].append(workload)
+
+    for group in groups.values():
+        sc = group["scenario"]
+        spec = group["spec"]
+        n = sc.n
+        ctx = shared_context(sc.world_size, scenario_hetero(sc))
+        comm = ctx.comm_model()
+        world = ctx.effective_world
+        rates = HardwareRates.from_cluster(ctx.device, comm)
+        if ctx.hetero is not None:
+            worst = ctx.hetero.bottleneck_rates(world)
+            rates = rates.scaled(comp=worst.comp, mem=worst.mem)
+        workloads = group["workloads"]
+        batches = np.asarray(group["batches"], dtype=np.int64)
+        rows = batched_device_rows(np, spec, world, batches, workloads)
+        bpe = np.asarray(
+            [
+                TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
+                for wl in workloads
+            ],
+            dtype=np.int64,
+        )
+        # Eq. 7-9 volumes per micro-batch of the bottleneck rows.
+        b = -(-rows // n)
+        m, h = spec.d_model, spec.d_hidden
+        v_comp = 2.0 * b * m * h
+        v_bytes = (b * m * bpe).astype(np.float64)
+        sigma = PAPER_INTERFERENCE.sigma
+
+        neutral = np.asarray([wl is None for wl in workloads]) | (rows == batches)
+        memory = _batched_reuse_memory_bytes(
+            np, spec, world, n, batches, rows, neutral
+        )
+        fits = memory <= ctx.device_memory_bytes
+
+        size = len(batches)
+        costs: dict[str, object] = {}
+        best_idx = np.full(size, -1)
+        best_cost = np.empty(size)
+        names: list[str] = []
+        for name, strategy in STRATEGIES.items():
+            if strategy.name == "none":
+                continue
+            if strategy.reuses_memory and n < 2:
+                continue
+            mu = PAPER_INTERFERENCE.mu(strategy.uses_mem_stream)
+            eta = PAPER_INTERFERENCE.eta(strategy.uses_mem_stream)
+
+            def stage_total(q):
+                q1, q2, q3 = q
+                comp = q1 * v_comp / (sigma * rates.w_comp)
+                comm_t = q2 * v_bytes / (mu * rates.w_comm)
+                mem_t = q3 * v_bytes / (eta * rates.w_mem)
+                return np.maximum(np.maximum(comp, comm_t), mem_t)
+
+            cost = n * (stage_total(strategy.q_fw) + stage_total(strategy.q_bw))
+            costs[name] = cost
+            pos = len(names)
+            names.append(name)
+            take = fits & ((best_idx == -1) | (cost < best_cost))
+            best_idx = np.where(take, pos, best_idx)
+            best_cost = np.where(take, cost, best_cost)
+
+        for j, i in enumerate(group["idx"]):
+            if best_idx[j] < 0:
+                # The scalar path raises MemoryError before its costs
+                # dict escapes select(); match its empty-costs shape.
+                out[i] = {
+                    "strategy": None,
+                    "cost": None,
+                    "iteration_time": None,
+                    "memory_bytes": None,
+                    "costs": {},
+                    "n": n,
+                    "feasible": False,
+                }
+            else:
+                point_costs = {name: float(costs[name][j]) for name in costs}
+                cost = float(best_cost[j])
+                out[i] = {
+                    "strategy": names[int(best_idx[j])],
+                    "cost": cost,
+                    "iteration_time": cost,
+                    "memory_bytes": int(memory[j]),
+                    "costs": point_costs,
+                    "n": n,
+                    "feasible": True,
+                }
+    return out
+
+
+# -- the evaluator registry ---------------------------------------------------
+#: Scalar evaluator function -> batched twin (Scenario list -> values list).
+_BATCH_EVALUATORS: dict[Callable, Callable] = {}
+
+
+def register_batch_evaluator(evaluate: Callable, batch_evaluate: Callable):
+    """Register ``batch_evaluate`` as the whole-grid twin of ``evaluate``.
+
+    The twin takes a list of scenarios and returns their values dicts in
+    order, each equal to ``evaluate(scenario)`` (minus the per-scenario
+    cache-stats entry, which a batched pass cannot honestly attribute).
+    """
+    _BATCH_EVALUATORS[evaluate] = batch_evaluate
+    return batch_evaluate
+
+
+def batch_evaluator_for(evaluate: Callable) -> Callable | None:
+    return _BATCH_EVALUATORS.get(evaluate)
+
+
+def batch_map(evaluate: Callable, scenarios: Iterable[Scenario]) -> list[dict]:
+    """Evaluate scenarios through the batched twin, or serially if none."""
+    scenarios = list(scenarios)
+    batched = _BATCH_EVALUATORS.get(evaluate)
+    if batched is None:
+        return [evaluate(sc) for sc in scenarios]
+    return batched(scenarios)
+
+
+def _register_builtins() -> None:
+    from repro.sweep import runner
+
+    register_batch_evaluator(runner.evaluate_timeline, batch_evaluate_timeline)
+    register_batch_evaluator(runner.evaluate_eq10, batch_evaluate_eq10)
+
+
+_register_builtins()

@@ -143,10 +143,13 @@ class Evaluator:
         self._costs = _LruMemo(self.max_entries)
         self._makespans = _LruMemo(self.max_entries)
         self._sims = _LruMemo(self.max_entries)
-        # Keyed (spec, workload): one model per routing workload.
-        self._footprints: dict[tuple, FootprintModel] = {}
+        # Keyed (spec, workload): one model per routing workload.  These
+        # ride the same LRU bound as the other memos — a grid sweeping
+        # many workloads grows them one entry per distinct workload, so
+        # leaving them as plain dicts silently defeated ``max_entries``.
+        self._footprints = _LruMemo(self.max_entries)
         self._footprint_bytes = _LruMemo(self.max_entries)
-        self._selectors: dict[tuple, StrategySelector] = {}
+        self._selectors = _LruMemo(self.max_entries)
         self._hkey = self.context.hetero_key
 
     # -- shared building blocks ------------------------------------------------
@@ -401,11 +404,16 @@ class Evaluator:
         persists the delta next to the scenario's values, making cache
         efficacy visible per study.
         """
-        memos = (self._costs, self._makespans, self._sims, self._footprint_bytes)
-        info = self.stats.as_dict()
-        info["entries"] = sum(len(m) for m in memos) + len(self._footprints) + len(
-            self._selectors
+        memos = (
+            self._costs,
+            self._makespans,
+            self._sims,
+            self._footprint_bytes,
+            self._footprints,
+            self._selectors,
         )
+        info = self.stats.as_dict()
+        info["entries"] = sum(len(m) for m in memos)
         info["evictions"] = sum(m.evictions for m in memos)
         info["max_entries"] = self.max_entries
         return info

@@ -251,9 +251,19 @@ class WorkloadSpec:
             # the load actually lands; skew shows up as overflow.  The
             # fattest rank's buffer is ceil(E/W) * W * C rows.
             device_rows = experts_per_rank * w * capacity
-            overflow = math.ceil(
-                max(0.0, hot - capacity) + (e - 1) * max(0.0, cold - capacity)
-            )
+            # Count drops on the canonical integer realization of the
+            # skew — the hot expert takes ceil(hot) rows, the cold
+            # experts split the remainder by largest remainder — so the
+            # priced overflow is exactly what ``core.dispatch
+            # .plan_dispatch`` drops for that routing (a float ceil over
+            # the summed excesses can land one row high when the cold
+            # share is a repeating fraction).
+            n_hot = math.ceil(hot)
+            overflow = max(0, n_hot - capacity)
+            if e > 1:
+                base, extra = divmod(routed - n_hot, e - 1)
+                overflow += extra * max(0, base + 1 - capacity)
+                overflow += (e - 1 - extra) * max(0, base - capacity)
             pressure = hot / capacity
 
         return RoutedLoad(

@@ -195,6 +195,28 @@ class TimelineTemplate:
                 out[i] = value
         return out
 
+    def works_matrix(self, columns, size: int):
+        """Work vectors for a whole batch of scenarios at once.
+
+        ``columns`` maps :class:`MoEStageCosts` field names to (size,)
+        float64 arrays (one row per scenario).  Returns a (size,
+        num_ops) matrix whose row ``s`` equals ``works(costs_s)`` bit
+        for bit: each distinct fields-tuple is summed left to right
+        exactly as the scalar fill does, then broadcast into its op
+        columns.
+        """
+        import numpy as np
+
+        out = np.zeros((size, len(self.fields)))
+        for fields, indices in self._work_groups:
+            if not fields:
+                continue
+            value = columns[fields[0]]
+            for f in fields[1:]:
+                value = value + columns[f]
+            out[:, indices] = value[:, None]
+        return out
+
     def instantiate(self, costs: MoEStageCosts, device: int = 0) -> list[Op]:
         """Materialize the template as fresh :class:`Op` objects."""
         works = self.works(costs)

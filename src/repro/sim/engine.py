@@ -659,6 +659,253 @@ class SimEngine:
             records.sort(key=lambda r: (r.start, r.device, r.stream.value))
         return SimResult(makespan=now, records=records)
 
+    def record_compiled_schedule(
+        self, dag: CompiledDag, works: Sequence[float] | None = None
+    ) -> "ScheduleTrace":
+        """Run ``works`` through the compiled loop, recording its schedule.
+
+        An instrumented twin of :meth:`run_compiled` (same state, same
+        event order, same arithmetic — keep the two in lockstep): on top
+        of executing the schedule it logs every start, re-rate and
+        completion into a :class:`ScheduleTrace` that
+        :func:`replay_schedule` can re-price for a whole batch of work
+        vectors.  Runs once per template group, so it stays a plain
+        scalar pass.
+        """
+        if works is None:
+            works = dag.works
+        num = dag.num_ops
+        if len(works) != num:
+            raise ValueError(f"expected {num} works, got {len(works)}")
+        if num and min(works) < 0:
+            raise ValueError("op works must be non-negative")
+        rates = self._rate_table()
+        device_rates = self.device_rates
+        lane_ops, lane_device, lane_kidx = dag.lane_ops, dag.lane_device, dag.lane_kidx
+        op_lane, children = dag.op_lane, dag.children
+
+        dep_rem = list(dag.dep_count)
+        lane_pos = [0] * len(lane_ops)
+        finished = bytearray(num)
+        running = bytearray(num)
+        rem = [0.0] * num
+        rate = [0.0] * num
+        synced_at = [0.0] * num
+        token = [0] * num
+        dev_running: dict[int, list[tuple[int, int]]] = {}
+        dev_mask: dict[int, int] = {}
+        dirty: set[int] = set()
+        heap: list[tuple[float, int, int]] = []
+        pending: list[int] = list(range(len(lane_ops)))
+        done_count = 0
+        now = 0.0
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        cur_starts: list[int] = []
+        cur_updates: list[tuple[int, float, float]] = []
+        events: list = []
+
+        def settle_frontier() -> None:
+            nonlocal done_count
+            while pending:
+                lane = pending.pop()
+                queue = lane_ops[lane]
+                pos = lane_pos[lane]
+                while True:
+                    while pos < len(queue) and finished[queue[pos]]:
+                        pos += 1
+                    lane_pos[lane] = pos
+                    if pos >= len(queue):
+                        break
+                    i = queue[pos]
+                    if running[i] or dep_rem[i] > 0:
+                        break
+                    if works[i] <= _EPS:
+                        finished[i] = 1
+                        done_count += 1
+                        for child in children[i]:
+                            dep_rem[child] -= 1
+                            if dep_rem[child] == 0:
+                                pending.append(op_lane[child])
+                        pos += 1
+                        lane_pos[lane] = pos
+                        continue
+                    device, kidx = lane_device[lane], lane_kidx[lane]
+                    running[i] = 1
+                    rem[i] = works[i]
+                    rate[i] = 0.0
+                    synced_at[i] = now
+                    token[i] = 0
+                    dev_running.setdefault(device, []).append((i, kidx))
+                    dev_mask[device] = dev_mask.get(device, 0) | (1 << kidx)
+                    dirty.add(device)
+                    cur_starts.append(i)
+                    break
+            if dirty:
+                for device in dirty:
+                    mask = dev_mask.get(device, 0)
+                    rtab = (
+                        rates
+                        if device_rates is None
+                        else self._flat_rates_for(device)
+                    )
+                    for i, kidx in dev_running.get(device, ()):
+                        new_rate = rtab[kidx * 8 + mask]
+                        old_rate = rate[i]
+                        if new_rate == old_rate:
+                            continue
+                        if old_rate > 0.0:
+                            remaining = rem[i] - (now - synced_at[i]) * old_rate
+                            rem[i] = remaining if remaining > 0.0 else 0.0
+                        rate[i] = new_rate
+                        synced_at[i] = now
+                        tok = token[i] + 1
+                        token[i] = tok
+                        heappush(heap, (now + rem[i] / new_rate, i, tok))
+                        cur_updates.append((i, old_rate, new_rate))
+                dirty.clear()
+
+        settle_frontier()
+        prologue = (tuple(cur_starts), tuple(cur_updates))
+        cur_starts.clear()
+        cur_updates.clear()
+        while heap:
+            pred_finish, i, entry_token = heappop(heap)
+            if not running[i] or entry_token != token[i]:
+                continue
+            now = pred_finish
+            # Heap order is (time, op): op ``i`` wins against a lower-
+            # indexed running op only strictly, against a higher-indexed
+            # one also on ties.  Replay re-checks these guards per row.
+            others = tuple(
+                (j, j < i)
+                for lst in dev_running.values()
+                for (j, _k) in lst
+                if j != i
+            )
+            running[i] = 0
+            lane = op_lane[i]
+            device, kidx = lane_device[lane], lane_kidx[lane]
+            dev_running[device].remove((i, kidx))
+            dev_mask[device] &= ~(1 << kidx)
+            dirty.add(device)
+            finished[i] = 1
+            done_count += 1
+            for child in children[i]:
+                dep_rem[child] -= 1
+                if dep_rem[child] == 0:
+                    pending.append(op_lane[child])
+            pending.append(lane)
+            settle_frontier()
+            events.append((i, others, tuple(cur_starts), tuple(cur_updates)))
+            cur_starts.clear()
+            cur_updates.clear()
+
+        if done_count != num:
+            stuck = [dag.names[i] for i in range(num) if not finished[i]][:8]
+            raise RuntimeError(
+                f"simulation deadlocked with {num - done_count} ops pending, "
+                f"e.g. {stuck} — check for dependency cycles or cross-lane ordering"
+            )
+        return ScheduleTrace(
+            num_ops=num,
+            zero_pattern=tuple(w <= _EPS for w in works),
+            prologue=prologue,
+            events=tuple(events),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """The control flow of one :meth:`SimEngine.run_compiled` execution.
+
+    Interference rates are a pure function of the (stream kind, active
+    stream set) pair — they never depend on the work values — so once
+    the discrete schedule (which op finishes next, which ops start,
+    which re-rates fire) is fixed, pricing it is straight-line float
+    arithmetic.  :func:`replay_schedule` runs that arithmetic over a
+    whole matrix of work vectors at once, validating per scenario that
+    the recorded event order is the order the scalar engine would have
+    chosen (exact lexicographic heap tie-breaks included); scenarios
+    whose ordering diverges are flagged invalid, never mispriced.
+
+    ``prologue`` is the initial frontier settle at t=0; each event is
+    ``(finished_op, others, starts, updates)`` where ``others`` holds
+    ``(op, strict)`` ordering guards against the other running ops and
+    ``updates`` holds ``(op, old_rate, new_rate)`` re-rates.
+    """
+
+    num_ops: int
+    zero_pattern: tuple[bool, ...]  # per op: work <= _EPS in the recording
+    prologue: tuple[tuple[int, ...], tuple[tuple[int, float, float], ...]]
+    events: tuple[
+        tuple[
+            int,
+            tuple[tuple[int, bool], ...],
+            tuple[int, ...],
+            tuple[tuple[int, float, float], ...],
+        ],
+        ...,
+    ]
+
+
+def replay_schedule(trace: ScheduleTrace, works_matrix) -> tuple:
+    """Price a :class:`ScheduleTrace` over many work vectors at once.
+
+    ``works_matrix`` is (scenarios, num_ops).  Returns ``(makespans,
+    valid)`` — both (scenarios,) — where ``valid[s]`` is True iff the
+    recorded event order is exactly what the scalar engine would
+    execute for row ``s``: the zero-work pattern matches and, at every
+    event, the finishing op's predicted completion wins the heap's
+    ``(time, op)`` lexicographic order against every other running op.
+    For valid rows the makespan is bit-for-bit what
+    :meth:`SimEngine.compiled_makespan` computes (identical IEEE ops in
+    identical order); invalid rows hold garbage and must be re-run
+    under a different trace (see ``repro.perfmodel.batcheval``).
+    """
+    import numpy as np
+
+    W = np.asarray(works_matrix, dtype=np.float64)
+    if W.ndim != 2 or W.shape[1] != trace.num_ops:
+        raise ValueError(
+            f"expected a (scenarios, {trace.num_ops}) works matrix, got {W.shape}"
+        )
+    pattern = np.asarray(trace.zero_pattern, dtype=bool)
+    valid = np.all((W <= _EPS) == pattern, axis=1)
+
+    num = trace.num_ops
+    rem: list = [None] * num
+    synced: list = [0.0] * num
+    fin: list = [None] * num
+
+    def apply(now, starts, updates) -> None:
+        # Mirrors one settle_frontier: starts first, then re-rates.
+        # ``rem[j] - (now - synced[j]) * old`` and ``now + rem[j] / new``
+        # reproduce run_compiled's expressions operation for operation.
+        for j in starts:
+            rem[j] = W[:, j]
+            synced[j] = now
+        for j, old, new in updates:
+            rj = rem[j]
+            if old > 0.0:
+                r = rj - (now - synced[j]) * old
+                rj = np.where(r > 0.0, r, 0.0)
+                rem[j] = rj
+            synced[j] = now
+            fin[j] = now + rj / new
+
+    apply(0.0, *trace.prologue)
+    now = None
+    for c, others, starts, updates in trace.events:
+        now = fin[c]
+        for j, strict in others:
+            fj = fin[j]
+            valid &= (now < fj) if strict else (now <= fj)
+        apply(now, starts, updates)
+    if now is None:  # every op had zero work: makespan stays 0.0
+        return np.zeros(W.shape[0]), valid
+    return now, valid
+
 
 class ReferenceSimEngine:
     """The original fluid loop: full-lane rescan and global re-rating at

@@ -32,8 +32,11 @@ from repro.sweep.grid import (
     as_scenarios,
 )
 from repro.sweep.runner import (
+    VECTORIZE_ENV,
+    VECTORIZE_MIN_POINTS,
     SweepResult,
     SweepRunner,
+    evaluate_eq10,
     evaluate_system,
     evaluate_timeline,
     scenario_hetero,
@@ -50,7 +53,10 @@ __all__ = [
     "ScenarioList",
     "SweepResult",
     "SweepRunner",
+    "VECTORIZE_ENV",
+    "VECTORIZE_MIN_POINTS",
     "as_scenarios",
+    "evaluate_eq10",
     "evaluate_system",
     "evaluate_timeline",
     "scenario_hetero",

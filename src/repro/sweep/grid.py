@@ -155,6 +155,27 @@ class Scenario:
                 "(1.0 = uniform gating)"
             )
 
+    def __hash__(self) -> int:
+        # Memoized: the runner hashes each scenario several times per
+        # run (dedupe dict, values/stats maps), and on a 10k+-point
+        # vectorized sweep the generated 16-field-tuple hash becomes
+        # measurable overhead.  Frozen dataclass, so compute-once is
+        # safe; equal scenarios have equal field tuples, hence equal
+        # cached hashes.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        value = hash((
+            self.system, self.spec, self.world_size, self.batch, self.n,
+            self.strategy, self.decomposed_comm, self.sequential,
+            self.straggler, self.severity, self.straggler_seed,
+            self.num_experts, self.capacity_factor, self.top_k,
+            self.dtype, self.imbalance,
+        ))
+        object.__setattr__(self, "_hash", value)
+        return value
+
     def key(self, salt: str = "") -> str:
         """Stable digest of this scenario (plus an optional salt such as
         the evaluator's qualified name) — the cache key."""

@@ -38,15 +38,18 @@ the JSON cache files.
 
 from __future__ import annotations
 
+import contextvars
+import functools
+import inspect
 import json
 import os
 import tempfile
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.api.backends import Backend, get_backend
+from repro.api.backends import Backend, SerialBackend, VectorizedBackend, get_backend
 from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
 from repro.perfmodel.workload import WorkloadSpec
@@ -82,14 +85,64 @@ _POOL_LOCK = threading.Lock()
 MAX_SHARED_CONTEXTS = 64
 
 #: Environment knob bounding every shared context's evaluator memo
-#: (``SystemContext(evaluator_max_entries=...)``); reaches worker
-#: processes through the inherited environment.  Unset = unbounded.
+#: (``SystemContext(evaluator_max_entries=...)``).  A per-run
+#: ``SweepRunner(evaluator_max_entries=...)`` overrides it through a
+#: :class:`~contextvars.ContextVar` scoped to each evaluation, so
+#: concurrent runners with different bounds never see each other's
+#: value (the env var used to be mutated for the duration of the run,
+#: which raced).  Unset = unbounded.
 MAX_MEMO_ENTRIES_ENV = "REPRO_SWEEP_MAX_MEMO_ENTRIES"
+
+#: Below this many cache-miss scenarios, auto mode keeps the memoized
+#: per-scenario path: small grids gain little wall-clock from a batched
+#: pass and would lose their per-scenario cache stats for nothing.
+#: Explicit ``vectorize=True`` (or ``backend="vectorized"``) ignores it.
+VECTORIZE_MIN_POINTS = 64
+
+#: Set to ``"0"`` to disable automatic whole-grid vectorization
+#: process-wide; explicit ``vectorize=True`` / ``backend="vectorized"``
+#: still engage it.
+VECTORIZE_ENV = "REPRO_SWEEP_VECTORIZE"
+
+#: Sentinel distinguishing "no per-run bound set" from an explicit bound.
+_UNSET = object()
+
+#: The active runner's memo bound; set around each evaluation (and
+#: around whole batched passes) instead of mutating process state.
+_MEMO_BOUND: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_sweep_memo_bound", default=_UNSET
+)
 
 
 def _default_max_entries() -> int | None:
+    bound = _MEMO_BOUND.get()
+    if bound is not _UNSET:
+        return bound
     raw = os.environ.get(MAX_MEMO_ENTRIES_ENV)
     return int(raw) if raw else None
+
+
+def _bound_call(evaluate: "Evaluator", bound: int, scenario: "Scenario"):
+    """Run one evaluation with the runner's memo bound in scope.
+
+    Module-level (and applied via :func:`functools.partial`) so
+    process-backend workers can unpickle it; the context variable is
+    set inside the worker, where the shared contexts actually live.
+    """
+    token = _MEMO_BOUND.set(bound)
+    try:
+        return evaluate(scenario)
+    finally:
+        _MEMO_BOUND.reset(token)
+
+
+async def _bound_acall(evaluate: Callable, bound: int, scenario: "Scenario"):
+    """Async twin of :func:`_bound_call` for asyncio-backend evaluators."""
+    token = _MEMO_BOUND.set(bound)
+    try:
+        return await evaluate(scenario)
+    finally:
+        _MEMO_BOUND.reset(token)
 
 
 def shared_context(
@@ -274,6 +327,56 @@ def evaluate_timeline(scenario: Scenario) -> dict:
         })
 
 
+def evaluate_eq10(scenario: Scenario) -> dict:
+    """Run the closed-form Eq. 10 strategy selection for one point.
+
+    The analytic counterpart of the simulated backends: no timeline is
+    priced, only the paper's bottleneck-stream cost model and the
+    footprint capacity check.  A point where no reuse strategy fits the
+    device comes back ``feasible=False`` instead of raising, so OOM
+    walls show up as data.
+    """
+    if scenario.n is None:
+        raise ValueError("eq10 scenarios need an explicit n")
+    if scenario.decomposed_comm or scenario.sequential:
+        raise ValueError(
+            "decomposed_comm/sequential only apply to the 'timeline' "
+            "backend, not 'eq10'"
+        )
+    if scenario.strategy is not None:
+        raise ValueError(
+            "'eq10' selects the strategy itself; drop the strategy axis"
+        )
+    ctx = shared_context(scenario.world_size, scenario_hetero(scenario))
+    with ctx.sweep_lock:  # exact stats attribution; see evaluate_system
+        before = ctx.evaluator.cache_info()
+        selector = ctx.evaluator.selector(
+            _scenario_spec(scenario), scenario_workload(scenario)
+        )
+        try:
+            result = selector.select(scenario.batch, scenario.n)
+            values = {
+                "strategy": result.strategy.name,
+                "cost": result.cost,
+                "iteration_time": result.cost,
+                "memory_bytes": result.memory_bytes,
+                "costs": dict(result.costs),
+                "n": scenario.n,
+                "feasible": True,
+            }
+        except MemoryError:
+            values = {
+                "strategy": None,
+                "cost": None,
+                "iteration_time": None,
+                "memory_bytes": None,
+                "costs": {},
+                "n": scenario.n,
+                "feasible": False,
+            }
+        return _with_cache_stats(ctx, before, values)
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """One evaluated scenario: the point, its values, and provenance.
@@ -313,10 +416,26 @@ class SweepRunner:
     order — only the scheduling differs.
 
     ``evaluator_max_entries`` bounds every shared context's memo (LRU)
-    for grids too large to cache whole.  It is exported through the
-    :data:`MAX_MEMO_ENTRIES_ENV` environment variable so process-backend
-    workers inherit it; contexts created before the run keep their
+    for grids too large to cache whole.  The bound travels with each
+    evaluation (a :class:`~contextvars.ContextVar` set around the call,
+    pickled into process-backend workers via the wrapped evaluator), so
+    concurrent runners with different bounds coexist; the
+    :data:`MAX_MEMO_ENTRIES_ENV` environment variable remains the
+    process-wide fallback.  Contexts created before the run keep their
     existing bound.
+
+    ``vectorize`` controls the whole-grid fast path: evaluators with a
+    batched twin (see :mod:`repro.perfmodel.batcheval`) can price all
+    cache-miss scenarios in one numpy pass, bit-identical to the serial
+    loop.  ``None`` (default) engages it automatically when the batch
+    is large enough (:data:`VECTORIZE_MIN_POINTS`) and the backend
+    would run the points in-line anyway; ``True`` forces it for any
+    miss count; ``False`` (or ``REPRO_SWEEP_VECTORIZE=0`` in the
+    environment) keeps the per-scenario memoized path, which
+    trace-needing objectives such as :func:`evaluate_system` always
+    use.  Vectorized results carry no per-scenario cache stats
+    (``cache_stats=None``) — there is no per-scenario evaluator work to
+    attribute.
     """
 
     def __init__(
@@ -326,6 +445,7 @@ class SweepRunner:
         workers: int = 1,
         backend: "str | Backend" = "process",
         evaluator_max_entries: int | None = None,
+        vectorize: bool | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -337,6 +457,7 @@ class SweepRunner:
         self.workers = workers
         self.backend = backend if isinstance(backend, str) else self._backend.name
         self.evaluator_max_entries = evaluator_max_entries
+        self.vectorize = vectorize
         self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
 
     # -- cache -----------------------------------------------------------------
@@ -366,7 +487,9 @@ class SweepRunner:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"scenario": scenario.__dict__, "values": values}
+        # asdict(), not __dict__: the latter would leak the memoized
+        # __hash__ slot Scenario caches on first use into the JSON file.
+        payload = {"scenario": asdict(scenario), "values": values}
         if stats is not None:
             payload["evaluator_cache"] = stats
         # Write-then-rename so concurrent sweeps never read a torn file.
@@ -383,58 +506,121 @@ class SweepRunner:
     # -- running ---------------------------------------------------------------
     def run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         """Evaluate all scenarios; results come back in scenario order."""
+        return self._run(scenarios)
+
+    def _bound_evaluate(self) -> Callable:
+        """The evaluator, carrying this runner's memo bound if it has one.
+
+        The previous implementation exported ``evaluator_max_entries``
+        through the process environment for the duration of the run and
+        restored it afterwards — two runners with different bounds (or
+        one bounded, one not) running concurrently would clobber each
+        other's value.  The bound now rides a context variable set
+        around each call, scoped to the evaluating thread or worker.
+        """
         if self.evaluator_max_entries is None:
-            return self._run(scenarios)
-        # Export the memo bound only for the duration of the run (worker
-        # processes inherit the environment at fork): a leaked value
-        # would silently cap every later runner's "unbounded" contexts.
-        previous = os.environ.get(MAX_MEMO_ENTRIES_ENV)
-        os.environ[MAX_MEMO_ENTRIES_ENV] = str(self.evaluator_max_entries)
+            return self.evaluate
+        wrapper = (
+            _bound_acall
+            if inspect.iscoroutinefunction(self.evaluate)
+            else _bound_call
+        )
+        return functools.partial(wrapper, self.evaluate, self.evaluator_max_entries)
+
+    def _use_batch_path(self, misses: list[Scenario]) -> bool:
+        """Whether this run's misses go through the whole-grid pass."""
+        if isinstance(self._backend, VectorizedBackend):
+            return True  # the backend was named explicitly; it decides
+        if self.vectorize is False:
+            return False
+        from repro.perfmodel.batcheval import batch_evaluator_for
+
+        if batch_evaluator_for(self.evaluate) is None:
+            return False  # no batched twin: the backend fan-out stands
+        if self.vectorize:
+            return True
+        # Auto mode: engage only where it cannot change scheduling
+        # semantics — the backend would run the points in-line anyway —
+        # and only when the batch is big enough that per-scenario cache
+        # stats are worth trading for throughput.
+        if os.environ.get(VECTORIZE_ENV, "") == "0":
+            return False
+        if len(misses) < VECTORIZE_MIN_POINTS:
+            return False
+        return self.workers == 1 or isinstance(self._backend, SerialBackend)
+
+    def _batch_map(self, misses: list[Scenario]) -> list[dict]:
+        """One whole-grid pass over the misses, memo bound in scope.
+
+        Calls :func:`~repro.perfmodel.batcheval.batch_map` directly
+        (not through :meth:`_bound_evaluate`) because the batched-twin
+        registry is keyed by evaluator identity — a wrapped partial
+        would silently fall back to the serial loop.
+        """
+        from repro.perfmodel.batcheval import batch_map
+
+        if self.evaluator_max_entries is None:
+            return batch_map(self.evaluate, misses)
+        token = _MEMO_BOUND.set(self.evaluator_max_entries)
         try:
-            return self._run(scenarios)
+            return batch_map(self.evaluate, misses)
         finally:
-            if previous is None:
-                os.environ.pop(MAX_MEMO_ENTRIES_ENV, None)
-            else:
-                os.environ[MAX_MEMO_ENTRIES_ENV] = previous
+            _MEMO_BOUND.reset(token)
 
     def _run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         points = list(scenarios)
 
         # Resolve cache hits and dedupe repeated points (a concatenated
         # grid may name the same scenario twice — evaluate it once).
-        values: dict[Scenario, dict] = {}
-        stats: dict[Scenario, dict | None] = {}
-        cached: set[Scenario] = set()
+        # Bookkeeping is slot-indexed, not Scenario-keyed: one hash per
+        # point (``setdefault``) instead of eight, which matters on
+        # 10k-point whole-grid runs where hashing rivals pricing.
+        slot_of: dict[Scenario, int] = {}
+        slots: list[int] = []  # per point, in order
+        values: list[dict] = []  # per slot
+        stats: list[dict | None] = []
+        cached: list[bool] = []
         misses: list[Scenario] = []
+        miss_slots: list[int] = []
+        caching = self.cache_dir is not None
         for sc in points:
-            if sc in values:
-                continue
-            hit = self._cache_load(sc)
+            slot = slot_of.setdefault(sc, len(values))
+            slots.append(slot)
+            if slot < len(values):
+                continue  # repeated point: reuse the first slot
+            hit = self._cache_load(sc) if caching else None
             if hit is not None:
-                values[sc], stats[sc] = hit
-                cached.add(sc)
+                hit_values, hit_stats = hit
+                values.append(hit_values)
+                stats.append(hit_stats)
+                cached.append(True)
             else:
-                values[sc] = {}  # placeholder keeps dedupe order stable
-                stats[sc] = None
+                values.append({})  # placeholder keeps dedupe order stable
+                stats.append(None)
+                cached.append(False)
                 misses.append(sc)
+                miss_slots.append(slot)
 
         if misses:
-            computed = self._backend.map(
-                self.evaluate, misses, workers=self.workers
-            )
-            for sc, vals in zip(misses, computed):
+            if self._use_batch_path(misses):
+                computed = self._batch_map(misses)
+            else:
+                computed = self._backend.map(
+                    self._bound_evaluate(), misses, workers=self.workers
+                )
+            for sc, slot, vals in zip(misses, miss_slots, computed):
                 sc_stats = vals.pop(CACHE_STATS_KEY, None)
-                values[sc] = vals
-                stats[sc] = sc_stats
-                self._cache_store(sc, vals, sc_stats)
+                values[slot] = vals
+                stats[slot] = sc_stats
+                if caching:
+                    self._cache_store(sc, vals, sc_stats)
 
         return [
             SweepResult(
                 scenario=sc,
-                values=values[sc],
-                cached=sc in cached,
-                cache_stats=stats[sc],
+                values=values[slot],
+                cached=cached[slot],
+                cache_stats=stats[slot],
             )
-            for sc in points
+            for sc, slot in zip(points, slots)
         ]

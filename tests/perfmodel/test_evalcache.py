@@ -209,6 +209,30 @@ class TestBoundedMemo:
         ctx.evaluator.makespan(spec, 8192, 2, "none")
         assert ctx.evaluator.stats.makespan_misses == misses  # still cached
 
+    def test_footprints_and_selectors_respect_the_bound(self):
+        # Regression: these two memos were plain dicts — ``max_entries``
+        # bounded every other table while a workload sweep grew them
+        # without limit (and their evictions never surfaced).
+        from repro.perfmodel.workload import WorkloadSpec
+
+        ctx = self._bounded_context(3)
+        spec = get_preset("GPT-XL")
+        workloads = [
+            WorkloadSpec(imbalance=float(skew)) for skew in range(1, 9)
+        ]
+        for wl in workloads:
+            ctx.evaluator.footprint(spec, wl)
+            ctx.evaluator.selector(spec, wl)
+        assert len(ctx.evaluator._footprints) == 3
+        assert len(ctx.evaluator._selectors) == 3
+        assert ctx.evaluator._footprints.evictions > 0
+        assert ctx.evaluator._selectors.evictions > 0
+        info = ctx.evaluator.cache_info()
+        assert info["evictions"] >= (
+            ctx.evaluator._footprints.evictions
+            + ctx.evaluator._selectors.evictions
+        )
+
     def test_bounded_reports_identical_to_unbounded(self):
         spec = get_preset("GPT-XL")
         bounded = MPipeMoEModel(self._bounded_context(3))

@@ -1,0 +1,124 @@
+"""Property: analytic overflow equals executable dispatch drops.
+
+``WorkloadSpec.load`` prices capacity overflow with a closed-form skew
+model (hot expert at ``imbalance`` times the uniform share, the rest
+split evenly).  ``core.dispatch.plan_dispatch`` *executes* dispatch: it
+assigns integer buffer slots and counts the tokens that actually fall
+off the end of each expert's capacity.
+
+These must agree exactly.  For any randomized ``(B, E, k, f,
+imbalance)`` point, realizing the analytic load as a concrete integer
+routing assignment (hottest expert gets ``ceil(hot)`` rows, the
+remainder spread over the cold experts by largest remainder) and
+running it through ``plan_dispatch`` must drop exactly
+``load.overflow_rows`` tokens — the perf model's drop count is not an
+approximation of the executable semantics, it *is* them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MOE_GPT3_S
+from repro.core.dispatch import capacity_for, plan_dispatch
+from repro.core.gating import GateDecision
+from repro.perfmodel.workload import WorkloadSpec, expert_capacity
+
+CAPACITY_FACTORS = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+
+
+def integer_counts(load) -> list[int]:
+    """Realize the analytic skew as per-expert integer row counts.
+
+    The hot expert takes ``ceil(hot_rows)`` (never more than the routed
+    total, which is an integer); the cold experts split what is left by
+    largest remainder.  This is the canonical integerization of the
+    closed-form load: it preserves the total and deviates from each
+    analytic share by less than one row.
+    """
+    e = load.num_experts
+    routed = load.routed_rows
+    if e == 1:
+        return [routed]
+    n_hot = int(np.ceil(load.hot_rows))
+    assert n_hot <= routed
+    remainder = routed - n_hot
+    base, extra = divmod(remainder, e - 1)
+    counts = [n_hot] + [base + 1] * extra + [base] * (e - 1 - extra)
+    assert sum(counts) == routed
+    return counts
+
+
+def executable_drops(counts: list[int], capacity: int) -> int:
+    """Run the realized routing through plan_dispatch and count drops."""
+    e = len(counts)
+    flat = np.repeat(np.arange(e), counts)
+    total = flat.size
+    # plan_dispatch only reads expert_indices; any (B, k) factorization
+    # of the flat routing vector dispatches the same rows.
+    idx = flat.reshape(total, 1)
+    plan = plan_dispatch(
+        GateDecision(expert_indices=idx, gate_probs=None, aux_loss=None),
+        e,
+        capacity,
+    )
+    assert plan.dropped + plan.token_ids.size == total
+    return plan.dropped
+
+
+class TestOverflowMatchesDispatch:
+    def test_randomized_points(self):
+        rng = np.random.default_rng(20230523)
+        for trial in range(200):
+            B = int(rng.integers(1, 513))
+            E = int(rng.integers(1, 65))
+            k = int(rng.integers(1, min(4, E) + 1))
+            f = float(rng.choice(CAPACITY_FACTORS))
+            imb = float(rng.uniform(1.0, 8.0))
+            spec = MOE_GPT3_S.with_(num_experts=E, top_k=1)
+            load = WorkloadSpec(
+                top_k=k, imbalance=imb, capacity_factor=f
+            ).load(spec, B)
+            assert load.capacity == capacity_for(B, E, k, f)
+            drops = executable_drops(integer_counts(load), load.capacity)
+            assert drops == load.overflow_rows, (
+                f"trial {trial}: B={B} E={E} k={k} f={f} imb={imb:.3f}: "
+                f"dispatch dropped {drops}, model priced "
+                f"{load.overflow_rows}"
+            )
+
+    @pytest.mark.parametrize("factor", CAPACITY_FACTORS)
+    def test_neutral_routing_regimes(self, factor):
+        # imbalance=1: every expert at the uniform share.  f >= 1 must
+        # drop nothing; f < 1 drops exactly the uniform excess.
+        for B, E, k in ((64, 8, 2), (100, 7, 3), (1, 1, 1), (513, 16, 1)):
+            spec = MOE_GPT3_S.with_(num_experts=E, top_k=1)
+            load = WorkloadSpec(top_k=k, capacity_factor=factor).load(spec, B)
+            drops = executable_drops(integer_counts(load), load.capacity)
+            assert drops == load.overflow_rows
+            if factor >= 1.0:
+                assert load.overflow_rows == 0
+
+    def test_single_expert_collapses_to_plain_truncation(self):
+        spec = MOE_GPT3_S.with_(num_experts=1, top_k=1)
+        load = WorkloadSpec(capacity_factor=0.5).load(spec, 101)
+        assert load.capacity == expert_capacity(101, 1, 1, 0.5)
+        assert load.overflow_rows == 101 - load.capacity
+        assert executable_drops([101], load.capacity) == load.overflow_rows
+
+    def test_extreme_skew_clamps_to_the_batch(self):
+        # imbalance large enough that the hot expert would exceed the
+        # routed total: the model clamps, and the realized routing sends
+        # everything to one expert.
+        spec = MOE_GPT3_S.with_(num_experts=8, top_k=1)
+        load = WorkloadSpec(
+            top_k=2, imbalance=1e6, capacity_factor=1.0
+        ).load(spec, 128)
+        assert load.hot_rows == float(load.routed_rows)
+        drops = executable_drops(integer_counts(load), load.capacity)
+        assert drops == load.overflow_rows == 256 - load.capacity
+
+    def test_uncapped_load_never_drops(self):
+        spec = MOE_GPT3_S.with_(num_experts=16, top_k=1)
+        load = WorkloadSpec(top_k=2, imbalance=5.0).load(spec, 256)
+        assert load.capacity is None
+        assert load.overflow_rows == 0

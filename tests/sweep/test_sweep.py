@@ -552,3 +552,88 @@ class TestHeteroScenarios:
         (second,) = runner.run([scenario])
         assert second.cached
         assert second.cache_stats == first.cache_stats
+
+
+# Module-level so thread/process workers resolve it by qualified name.
+def record_bound_evaluate(scenario: Scenario) -> dict:
+    import time
+
+    from repro.sweep import runner as runner_mod
+
+    time.sleep(0.002)  # widen the overlap window between concurrent runs
+    return {
+        "bound": runner_mod._default_max_entries(),
+        "env": os.environ.get(runner_mod.MAX_MEMO_ENTRIES_ENV),
+    }
+
+
+class TestConcurrentMemoBounds:
+    """Regression: ``SweepRunner.run`` used to export
+    ``evaluator_max_entries`` through ``REPRO_SWEEP_MAX_MEMO_ENTRIES``
+    for the whole run and restore it afterwards — two concurrent runners
+    with different bounds clobbered each other (and a crash could leave
+    the variable behind).  The bound now rides a context variable scoped
+    to each evaluation."""
+
+    def _scenarios(self, start: int) -> list:
+        return [
+            Scenario(system="timeline", batch=start + i) for i in range(1, 25)
+        ]
+
+    def test_concurrent_runners_keep_their_own_bounds(self, monkeypatch):
+        import threading
+
+        monkeypatch.delenv("REPRO_SWEEP_MAX_MEMO_ENTRIES", raising=False)
+        bounded = SweepRunner(record_bound_evaluate, backend="thread",
+                              workers=2, evaluator_max_entries=5)
+        unbounded = SweepRunner(record_bound_evaluate, backend="thread",
+                                workers=2)
+        results: dict = {}
+
+        def run(name, runner, start):
+            results[name] = runner.run(self._scenarios(start))
+
+        threads = [
+            threading.Thread(target=run, args=("bounded", bounded, 0)),
+            threading.Thread(target=run, args=("unbounded", unbounded, 1000)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert {r.values["bound"] for r in results["bounded"]} == {5}
+        assert {r.values["bound"] for r in results["unbounded"]} == {None}
+        # The environment was never written, mid-run or after.
+        for rs in results.values():
+            assert {r.values["env"] for r in rs} == {None}
+        assert "REPRO_SWEEP_MAX_MEMO_ENTRIES" not in os.environ
+
+    def test_env_default_survives_and_is_overridden_per_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_MAX_MEMO_ENTRIES", "11")
+        bounded = SweepRunner(record_bound_evaluate, evaluator_max_entries=5)
+        plain = SweepRunner(record_bound_evaluate)
+        (b,) = bounded.run([Scenario(system="timeline", batch=1)])
+        (p,) = plain.run([Scenario(system="timeline", batch=2)])
+        assert b.values["bound"] == 5  # explicit bound wins
+        assert p.values["bound"] == 11  # env default still honored
+        assert b.values["env"] == p.values["env"] == "11"  # never mutated
+        assert os.environ["REPRO_SWEEP_MAX_MEMO_ENTRIES"] == "11"
+
+    def test_bound_lands_on_fresh_contexts(self, monkeypatch):
+        from repro.sweep import runner as runner_mod
+
+        monkeypatch.delenv("REPRO_SWEEP_MAX_MEMO_ENTRIES", raising=False)
+        with runner_mod._POOL_LOCK:
+            saved = dict(runner_mod._CONTEXTS)
+            runner_mod._CONTEXTS.clear()
+        try:
+            runner = SweepRunner(evaluate_timeline, evaluator_max_entries=7)
+            runner.run([Scenario(system="timeline", spec="GPT-S",
+                                 world_size=4, batch=1024, n=2)])
+            ctx = runner_mod._CONTEXTS[(4, None)]
+            assert ctx.evaluator.max_entries == 7
+        finally:
+            with runner_mod._POOL_LOCK:
+                runner_mod._CONTEXTS.clear()
+                runner_mod._CONTEXTS.update(saved)
