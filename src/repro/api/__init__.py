@@ -62,6 +62,12 @@ __all__ = [
     "OBJECTIVES",
     "StudyResult",
     "ResultSet",
+    # resilience (lazy)
+    "RetryPolicy",
+    "SweepError",
+    "ScenarioError",
+    "SweepTimeoutError",
+    "WorkerCrashError",
     "pareto_front",
     "sweep_table",
     "group_by",
@@ -80,6 +86,11 @@ _LAZY = {
     "OBJECTIVES": ("repro.api.study", "OBJECTIVES"),
     "StudyResult": ("repro.api.result", "StudyResult"),
     "ResultSet": ("repro.api.result", "ResultSet"),
+    "RetryPolicy": ("repro.sweep.resilience", "RetryPolicy"),
+    "SweepError": ("repro.sweep.resilience", "SweepError"),
+    "ScenarioError": ("repro.sweep.resilience", "ScenarioError"),
+    "SweepTimeoutError": ("repro.sweep.resilience", "SweepTimeoutError"),
+    "WorkerCrashError": ("repro.sweep.resilience", "WorkerCrashError"),
     "pareto_front": ("repro.api.result", "pareto_front"),
     "sweep_table": ("repro.api.result", "sweep_table"),
     "group_by": ("repro.api.result", "group_by"),

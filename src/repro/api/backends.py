@@ -44,6 +44,7 @@ import abc
 import asyncio
 import inspect
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 
@@ -97,16 +98,55 @@ class ThreadBackend(Backend):
 
 
 class ProcessBackend(Backend):
-    """Process-pool fan-out; evaluators travel by qualified name."""
+    """Process-pool fan-out; evaluators travel by qualified name.
+
+    Worker death is absorbed, not fatal: when a worker dies mid-shard
+    (OOM-killed, segfaulted, SIGKILLed) the pool breaks and every
+    unfinished future raises :class:`BrokenProcessPool`.  This backend
+    keeps the results that already landed, respawns the pool, and
+    retries *only the unfinished shard* — up to ``max_pool_respawns``
+    times, after which the final :class:`BrokenProcessPool` propagates
+    carrying ``partial_results`` (index -> value) and ``pending_items``
+    (indices never finished) so the caller can salvage the run.
+    """
 
     name = "process"
 
+    def __init__(self, max_pool_respawns: int = 2) -> None:
+        if max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be >= 0")
+        self.max_pool_respawns = max_pool_respawns
+
     def map(self, fn, items, *, workers: int = 1) -> list:
         self._require_sync(fn)
+        items = list(items)
         if workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+        results: dict[int, Any] = {}
+        pending = list(range(len(items)))
+        respawns = 0
+        while pending:
+            crash = None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {i: pool.submit(fn, items[i]) for i in pending}
+                for i in pending:
+                    try:
+                        results[i] = futures[i].result()
+                    except BrokenProcessPool as exc:
+                        # The pool is gone; completed futures still
+                        # yield results, so keep draining the shard.
+                        crash = exc
+                    # Any other exception is the evaluator's own and
+                    # propagates, matching the serial loop's semantics.
+            pending = [i for i in pending if i not in results]
+            if crash is None or not pending:
+                break
+            respawns += 1
+            if respawns > self.max_pool_respawns:
+                crash.partial_results = dict(results)
+                crash.pending_items = list(pending)
+                raise crash
+        return [results[i] for i in range(len(items))]
 
 
 class AsyncioBackend(Backend):
@@ -124,9 +164,18 @@ class AsyncioBackend(Backend):
         if not items:
             return []
         coro = self._gather(fn, items, max(1, workers))
+        # The try block covers ONLY the running-loop detection: an
+        # evaluator that itself raises RuntimeError must surface as a
+        # scenario failure from asyncio.run below, not be mistaken for
+        # "loop already running" and rerouted (or chained into the
+        # detection's exception context).
         try:
             asyncio.get_running_loop()
         except RuntimeError:
+            loop_running = False
+        else:
+            loop_running = True
+        if not loop_running:
             return asyncio.run(coro)
         # Called from inside a running loop (a notebook, an async app):
         # asyncio.run() would raise, so drive the gather on a private

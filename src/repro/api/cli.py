@@ -120,6 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the ResultSet JSON here ('-' for stdout)")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the result table")
+        p.add_argument("--keep-going", action="store_true",
+                       help="keep sweeping past failing scenarios; failures "
+                            "become ok=false rows and the exit code is 3")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry each failing scenario up to N times "
+                            "(N+1 total attempts)")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-scenario attempt timeout in seconds")
+        p.add_argument("--resume", action="store_true",
+                       help="resume a previous run from its cache manifest "
+                            "(needs --cache-dir), re-running only "
+                            "failed-or-missing points")
 
     sweep = sub.add_parser("sweep", help="run a scenario grid built from flags")
     sweep.add_argument("--systems", nargs="+", default=["mpipemoe"],
@@ -162,14 +175,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _finish(study: Study, args, title: str) -> int:
     results = study.run()
+    failures = results.failures()
     if not args.quiet:
-        print(results.table(title=title))
+        ok = results.ok()
+        if ok:
+            print(ok.table(title=title))
         stats = results.cache_stats()
         print(
             f"\n{stats['scenarios']} scenarios "
             f"({stats['disk_hits']} disk hits, "
             f"{stats['evaluator_hits']} evaluator-memo hits)"
         )
+        for failure in failures:
+            error = failure.error or {}
+            print(
+                f"FAILED {failure.label}: {error.get('type', 'SweepError')}: "
+                f"{error.get('message', '')} "
+                f"[{failure.attempts} attempt(s)]",
+                file=sys.stderr,
+            )
     if args.json:
         payload = results.to_json()
         if args.json == "-":
@@ -180,6 +204,15 @@ def _finish(study: Study, args, title: str) -> int:
             path.write_text(payload + "\n")
             if not args.quiet:
                 print(f"wrote {path}")
+    if failures:
+        # Distinct from the usage/validation exit (2): the run finished
+        # but carried failed scenarios the caller must not ignore.
+        if not args.quiet:
+            print(
+                f"{len(failures)} of {len(results)} scenario(s) failed",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 
@@ -193,6 +226,17 @@ def _apply_run_flags(study: Study, args) -> Study:
         study = study.workers(args.workers)
     if args.cache_dir is not None:
         study = study.cache(args.cache_dir)
+    if args.keep_going:
+        study = study.keep_going()
+    if args.retries is not None or args.timeout is not None:
+        retries = args.retries or 0
+        if retries < 0:
+            raise ValueError("--retries must be >= 0")
+        study = study.retry(
+            max_attempts=retries + 1, timeout=args.timeout
+        )
+    if args.resume:
+        study = study.resume()
     return study
 
 

@@ -130,6 +130,9 @@ class StudyResult(SweepResult):
             values=result.values,
             cached=result.cached,
             cache_stats=result.cache_stats,
+            ok=result.ok,
+            error=result.error,
+            attempts=result.attempts,
         )
 
     @property
@@ -147,6 +150,12 @@ class StudyResult(SweepResult):
             "label": self.label,
             "values": dict(self.values),
         }
+        if not self.ok:
+            # Failure fields appear only on failures, so healthy-run
+            # JSON stays byte-identical to pre-resilience exports.
+            payload["ok"] = False
+            payload["error"] = self.error
+            payload["attempts"] = self.attempts
         if include_cache_stats:
             payload["cached"] = self.cached
             payload["cache_stats"] = self.cache_stats
@@ -233,12 +242,27 @@ class ResultSet(Sequence):
         get = _getter(column)
         return min(self._results, key=get)
 
+    def ok(self) -> "ResultSet":
+        """The successfully evaluated subset, order preserved."""
+        return ResultSet(r for r in self._results if r.ok)
+
+    def failures(self) -> "ResultSet":
+        """The failed subset (``on_error="keep"`` rows), order preserved.
+
+        Empty on any run with the default ``on_error="raise"`` — a
+        failure would have raised instead of landing here.
+        """
+        return ResultSet(r for r in self._results if not r.ok)
+
     def cache_stats(self) -> dict:
         """Aggregate cache efficacy over the whole set.
 
         ``disk_hits`` counts scenarios answered from the on-disk JSON
         cache; the evaluator counters sum the per-scenario memo deltas
-        of every result that reported them.
+        of every result that reported them.  ``quarantined`` counts
+        scenarios whose cache entry was found corrupt and moved aside
+        (``*.json.corrupt``) before recomputing; ``failures`` counts
+        kept-failure rows.
         """
         stats = {
             "scenarios": len(self._results),
@@ -246,6 +270,8 @@ class ResultSet(Sequence):
             "evaluator_hits": 0,
             "evaluator_misses": 0,
             "reported": 0,
+            "quarantined": 0,
+            "failures": sum(not r.ok for r in self._results),
         }
         for result in self._results:
             delta = result.cache_stats
@@ -254,6 +280,7 @@ class ResultSet(Sequence):
             stats["reported"] += 1
             stats["evaluator_hits"] += delta.get("hits", 0)
             stats["evaluator_misses"] += delta.get("misses", 0)
+            stats["quarantined"] += delta.get("quarantined", 0)
         return stats
 
     # -- export ----------------------------------------------------------------

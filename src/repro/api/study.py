@@ -39,6 +39,7 @@ from repro.sweep.grid import (
     ScenarioList,
     as_scenarios,
 )
+from repro.sweep.resilience import RetryPolicy
 from repro.sweep.runner import (
     SweepRunner,
     evaluate_eq10,
@@ -66,6 +67,20 @@ def _resolve_objective(objective) -> Callable[[Scenario], dict]:
     return fn
 
 
+def _resolve_retry(retry) -> "RetryPolicy | None":
+    """Normalize a retry spec: policy, int (max attempts), dict, or None."""
+    if retry is None or isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, int) and not isinstance(retry, bool):
+        return RetryPolicy(max_attempts=retry)
+    if isinstance(retry, dict):
+        return RetryPolicy(**retry)
+    raise TypeError(
+        f"retry must be a RetryPolicy, an int (max attempts), a policy "
+        f"kwargs dict, or None, got {type(retry).__name__}"
+    )
+
+
 class Study:
     """Declarative, immutable experiment description with a fluent API."""
 
@@ -79,6 +94,9 @@ class Study:
         cache_dir=None,
         evaluator_max_entries: int | None = None,
         vectorize: bool | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        on_error: str = "raise",
+        resume: bool = False,
     ) -> None:
         self._scenarios: list[Scenario] = [] if grid is None else as_scenarios(grid)
         self._objective = objective
@@ -91,6 +109,13 @@ class Study:
         self._cache_dir = cache_dir
         self._max_entries = evaluator_max_entries
         self._vectorize = vectorize
+        self._retry = _resolve_retry(retry)
+        if on_error not in ("raise", "keep"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'keep', got {on_error!r}"
+            )
+        self._on_error = on_error
+        self._resume = bool(resume)
         self._overlay: dict = {}
 
     # -- fluent builders (copy-on-write) ---------------------------------------
@@ -103,6 +128,9 @@ class Study:
         study._cache_dir = self._cache_dir
         study._max_entries = self._max_entries
         study._vectorize = self._vectorize
+        study._retry = self._retry
+        study._on_error = self._on_error
+        study._resume = self._resume
         study._overlay = dict(self._overlay)
         for key, value in changes.items():
             setattr(study, key, value)
@@ -146,6 +174,37 @@ class Study:
         pins the per-scenario memoized path, ``None`` restores the
         automatic default (engage on large in-line batches)."""
         return self._clone(_vectorize=vectorize)
+
+    def retry(self, policy=None, **kwargs) -> "Study":
+        """Retry failing scenarios under a policy.
+
+        Accepts a :class:`~repro.sweep.resilience.RetryPolicy`, an int
+        (total attempts), or policy kwargs directly::
+
+            study.retry(3)                            # 3 attempts
+            study.retry(max_attempts=3, backoff=0.5)  # with backoff
+            study.retry(None)                         # back to no retry
+        """
+        if policy is not None and kwargs:
+            raise ValueError("pass a policy/int or policy kwargs, not both")
+        return self._clone(_retry=_resolve_retry(kwargs or policy))
+
+    def on_error(self, mode: str) -> "Study":
+        """``"raise"`` (default: first failure propagates) or ``"keep"``
+        (failures become ``ok=False`` rows; see
+        :meth:`ResultSet.failures <repro.api.result.ResultSet.failures>`)."""
+        if mode not in ("raise", "keep"):
+            raise ValueError(f"on_error must be 'raise' or 'keep', got {mode!r}")
+        return self._clone(_on_error=mode)
+
+    def keep_going(self) -> "Study":
+        """Shorthand for ``on_error("keep")``."""
+        return self.on_error("keep")
+
+    def resume(self, resume: bool = True) -> "Study":
+        """Resume a previous run from its cache-side manifest,
+        re-executing only failed-or-missing points (needs a cache)."""
+        return self._clone(_resume=bool(resume))
 
     def where(self, **fields) -> "Study":
         """Overlay scenario fields onto every point (applied at run time).
@@ -228,6 +287,9 @@ class Study:
             "cache_dir": None if self._cache_dir is None else str(self._cache_dir),
             "evaluator_max_entries": self._max_entries,
             "vectorize": self._vectorize,
+            "retry": None if self._retry is None else self._retry.to_dict(),
+            "on_error": self._on_error,
+            "resume": self._resume,
         }
 
     @classmethod
@@ -245,6 +307,7 @@ class Study:
         known = {
             "grids", "scenarios", "objective", "backend", "workers",
             "cache_dir", "evaluator_max_entries", "cluster", "vectorize",
+            "retry", "on_error", "resume",
         }
         unknown = sorted(set(spec) - known)
         if unknown:
@@ -265,6 +328,9 @@ class Study:
             cache_dir=spec.get("cache_dir"),
             evaluator_max_entries=spec.get("evaluator_max_entries"),
             vectorize=spec.get("vectorize"),
+            retry=spec.get("retry"),
+            on_error=spec.get("on_error", "raise"),
+            resume=spec.get("resume", False),
         )
         cluster = spec.get("cluster")
         if cluster:
@@ -300,6 +366,9 @@ class Study:
             backend=self._backend,
             evaluator_max_entries=self._max_entries,
             vectorize=self._vectorize,
+            retry=self._retry,
+            on_error=self._on_error,
+            resume=self._resume,
         )
 
     def run(self) -> ResultSet:

@@ -51,11 +51,31 @@ from repro.pipeline.schedule import (
 from repro.sim.engine import CompiledDag, SimEngine, replay_schedule
 from repro.sweep.grid import Scenario
 from repro.sweep.runner import (
+    CACHE_STATS_KEY,
+    evaluate_eq10,
+    evaluate_timeline,
     scenario_hetero,
     scenario_workload,
     shared_context,
     _scenario_spec,
 )
+
+
+def _scalar_group_fallback(evaluate, scenarios, group, out) -> None:
+    """Re-price one template group through the memoized scalar evaluator.
+
+    The graceful-degradation path: when a group's batched pass raises
+    (a pricing bug, a numpy edge case), its scenarios fall back to the
+    serial evaluator one by one instead of sinking the whole grid — and
+    an organic per-scenario failure then surfaces from the scenario that
+    owns it, exactly as the serial loop would raise it.  The cache-stats
+    entry is stripped to keep the batched-path contract (no per-scenario
+    attribution).
+    """
+    for i in group["idx"]:
+        values = evaluate(scenarios[i])
+        values.pop(CACHE_STATS_KEY, None)
+        out[i] = values
 
 #: Distinct recorded schedules tried per template group before the
 #: stragglers fall back to the scalar compiled path.  Real grids vary
@@ -294,52 +314,60 @@ def batch_evaluate_timeline(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
-        sc = group["scenario"]
-        spec = group["spec"]
-        ctx = shared_context(sc.world_size, scenario_hetero(sc))
-        comm = ctx.comm_model()
-        rows = batched_device_rows(
-            np, spec, comm.effective_world, group["batches"], group["workloads"]
-        )
-        bpe = np.asarray(
-            [
-                TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
-                for wl in group["workloads"]
-            ],
-            dtype=np.int64,
-        )
-        columns = stage_cost_columns(np, spec, ctx.device, comm, rows, bpe, sc.n)
-        compiled = compile_timeline(
-            sc.n,
-            sc.strategy or "none",
-            decomposed_comm=sc.decomposed_comm,
-            sequential=sc.sequential,
-        )
-        # Work vectors are a pure function of the stage-cost columns, and
-        # the columns quantize rows through ``b = ceil(rows / n)`` — dense
-        # batch axes collapse onto far fewer distinct vectors (an n=16
-        # group keeps ~1/16th).  Price each distinct vector once and
-        # scatter; identical inputs make identical (bit-for-bit) outputs.
-        names = sorted(columns)
-        colmat = np.stack([columns[f] for f in names], axis=1)
-        _, first, inverse = np.unique(
-            colmat, axis=0, return_index=True, return_inverse=True
-        )
-        W = compiled.template.works_matrix(
-            {f: columns[f][first] for f in names}, len(first)
-        )
-        spans = _group_makespans(ctx, compiled.dag, W)[inverse].tolist()
-        strategy = sc.strategy or "none"
-        n = sc.n
-        for j, i in enumerate(group["idx"]):
-            value = spans[j]
-            out[i] = {
-                "makespan": value,
-                "iteration_time": value,
-                "n": n,
-                "strategy": strategy,
-            }
+        try:
+            _price_timeline_group(np, group, out)
+        except Exception:
+            _scalar_group_fallback(evaluate_timeline, scenarios, group, out)
     return out
+
+
+def _price_timeline_group(np, group: dict, out: list) -> None:
+    """One (cluster, spec, template) group in a single numpy pass."""
+    sc = group["scenario"]
+    spec = group["spec"]
+    ctx = shared_context(sc.world_size, scenario_hetero(sc))
+    comm = ctx.comm_model()
+    rows = batched_device_rows(
+        np, spec, comm.effective_world, group["batches"], group["workloads"]
+    )
+    bpe = np.asarray(
+        [
+            TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
+            for wl in group["workloads"]
+        ],
+        dtype=np.int64,
+    )
+    columns = stage_cost_columns(np, spec, ctx.device, comm, rows, bpe, sc.n)
+    compiled = compile_timeline(
+        sc.n,
+        sc.strategy or "none",
+        decomposed_comm=sc.decomposed_comm,
+        sequential=sc.sequential,
+    )
+    # Work vectors are a pure function of the stage-cost columns, and
+    # the columns quantize rows through ``b = ceil(rows / n)`` — dense
+    # batch axes collapse onto far fewer distinct vectors (an n=16
+    # group keeps ~1/16th).  Price each distinct vector once and
+    # scatter; identical inputs make identical (bit-for-bit) outputs.
+    names = sorted(columns)
+    colmat = np.stack([columns[f] for f in names], axis=1)
+    _, first, inverse = np.unique(
+        colmat, axis=0, return_index=True, return_inverse=True
+    )
+    W = compiled.template.works_matrix(
+        {f: columns[f][first] for f in names}, len(first)
+    )
+    spans = _group_makespans(ctx, compiled.dag, W)[inverse].tolist()
+    strategy = sc.strategy or "none"
+    n = sc.n
+    for j, i in enumerate(group["idx"]):
+        value = spans[j]
+        out[i] = {
+            "makespan": value,
+            "iteration_time": value,
+            "n": n,
+            "strategy": strategy,
+        }
 
 
 # -- the analytic Eq. 10 selection, batched -----------------------------------
@@ -421,93 +449,101 @@ def batch_evaluate_eq10(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
-        sc = group["scenario"]
-        spec = group["spec"]
-        n = sc.n
-        ctx = shared_context(sc.world_size, scenario_hetero(sc))
-        comm = ctx.comm_model()
-        world = ctx.effective_world
-        rates = HardwareRates.from_cluster(ctx.device, comm)
-        if ctx.hetero is not None:
-            worst = ctx.hetero.bottleneck_rates(world)
-            rates = rates.scaled(comp=worst.comp, mem=worst.mem)
-        workloads = group["workloads"]
-        batches = np.asarray(group["batches"], dtype=np.int64)
-        rows = batched_device_rows(np, spec, world, batches, workloads)
-        bpe = np.asarray(
-            [
-                TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
-                for wl in workloads
-            ],
-            dtype=np.int64,
-        )
-        # Eq. 7-9 volumes per micro-batch of the bottleneck rows.
-        b = -(-rows // n)
-        m, h = spec.d_model, spec.d_hidden
-        v_comp = 2.0 * b * m * h
-        v_bytes = (b * m * bpe).astype(np.float64)
-        sigma = PAPER_INTERFERENCE.sigma
-
-        neutral = np.asarray([wl is None for wl in workloads]) | (rows == batches)
-        memory = _batched_reuse_memory_bytes(
-            np, spec, world, n, batches, rows, neutral
-        )
-        fits = memory <= ctx.device_memory_bytes
-
-        size = len(batches)
-        costs: dict[str, object] = {}
-        best_idx = np.full(size, -1)
-        best_cost = np.empty(size)
-        names: list[str] = []
-        for name, strategy in STRATEGIES.items():
-            if strategy.name == "none":
-                continue
-            if strategy.reuses_memory and n < 2:
-                continue
-            mu = PAPER_INTERFERENCE.mu(strategy.uses_mem_stream)
-            eta = PAPER_INTERFERENCE.eta(strategy.uses_mem_stream)
-
-            def stage_total(q):
-                q1, q2, q3 = q
-                comp = q1 * v_comp / (sigma * rates.w_comp)
-                comm_t = q2 * v_bytes / (mu * rates.w_comm)
-                mem_t = q3 * v_bytes / (eta * rates.w_mem)
-                return np.maximum(np.maximum(comp, comm_t), mem_t)
-
-            cost = n * (stage_total(strategy.q_fw) + stage_total(strategy.q_bw))
-            costs[name] = cost
-            pos = len(names)
-            names.append(name)
-            take = fits & ((best_idx == -1) | (cost < best_cost))
-            best_idx = np.where(take, pos, best_idx)
-            best_cost = np.where(take, cost, best_cost)
-
-        for j, i in enumerate(group["idx"]):
-            if best_idx[j] < 0:
-                # The scalar path raises MemoryError before its costs
-                # dict escapes select(); match its empty-costs shape.
-                out[i] = {
-                    "strategy": None,
-                    "cost": None,
-                    "iteration_time": None,
-                    "memory_bytes": None,
-                    "costs": {},
-                    "n": n,
-                    "feasible": False,
-                }
-            else:
-                point_costs = {name: float(costs[name][j]) for name in costs}
-                cost = float(best_cost[j])
-                out[i] = {
-                    "strategy": names[int(best_idx[j])],
-                    "cost": cost,
-                    "iteration_time": cost,
-                    "memory_bytes": int(memory[j]),
-                    "costs": point_costs,
-                    "n": n,
-                    "feasible": True,
-                }
+        try:
+            _price_eq10_group(np, group, out)
+        except Exception:
+            _scalar_group_fallback(evaluate_eq10, scenarios, group, out)
     return out
+
+
+def _price_eq10_group(np, group: dict, out: list) -> None:
+    """One (cluster, spec, n) Eq. 10 group in a single numpy pass."""
+    sc = group["scenario"]
+    spec = group["spec"]
+    n = sc.n
+    ctx = shared_context(sc.world_size, scenario_hetero(sc))
+    comm = ctx.comm_model()
+    world = ctx.effective_world
+    rates = HardwareRates.from_cluster(ctx.device, comm)
+    if ctx.hetero is not None:
+        worst = ctx.hetero.bottleneck_rates(world)
+        rates = rates.scaled(comp=worst.comp, mem=worst.mem)
+    workloads = group["workloads"]
+    batches = np.asarray(group["batches"], dtype=np.int64)
+    rows = batched_device_rows(np, spec, world, batches, workloads)
+    bpe = np.asarray(
+        [
+            TIMING_BYTES_PER_ELEM if wl is None else wl.bytes_per_elem
+            for wl in workloads
+        ],
+        dtype=np.int64,
+    )
+    # Eq. 7-9 volumes per micro-batch of the bottleneck rows.
+    b = -(-rows // n)
+    m, h = spec.d_model, spec.d_hidden
+    v_comp = 2.0 * b * m * h
+    v_bytes = (b * m * bpe).astype(np.float64)
+    sigma = PAPER_INTERFERENCE.sigma
+
+    neutral = np.asarray([wl is None for wl in workloads]) | (rows == batches)
+    memory = _batched_reuse_memory_bytes(
+        np, spec, world, n, batches, rows, neutral
+    )
+    fits = memory <= ctx.device_memory_bytes
+
+    size = len(batches)
+    costs: dict[str, object] = {}
+    best_idx = np.full(size, -1)
+    best_cost = np.empty(size)
+    names: list[str] = []
+    for name, strategy in STRATEGIES.items():
+        if strategy.name == "none":
+            continue
+        if strategy.reuses_memory and n < 2:
+            continue
+        mu = PAPER_INTERFERENCE.mu(strategy.uses_mem_stream)
+        eta = PAPER_INTERFERENCE.eta(strategy.uses_mem_stream)
+
+        def stage_total(q):
+            q1, q2, q3 = q
+            comp = q1 * v_comp / (sigma * rates.w_comp)
+            comm_t = q2 * v_bytes / (mu * rates.w_comm)
+            mem_t = q3 * v_bytes / (eta * rates.w_mem)
+            return np.maximum(np.maximum(comp, comm_t), mem_t)
+
+        cost = n * (stage_total(strategy.q_fw) + stage_total(strategy.q_bw))
+        costs[name] = cost
+        pos = len(names)
+        names.append(name)
+        take = fits & ((best_idx == -1) | (cost < best_cost))
+        best_idx = np.where(take, pos, best_idx)
+        best_cost = np.where(take, cost, best_cost)
+
+    for j, i in enumerate(group["idx"]):
+        if best_idx[j] < 0:
+            # The scalar path raises MemoryError before its costs
+            # dict escapes select(); match its empty-costs shape.
+            out[i] = {
+                "strategy": None,
+                "cost": None,
+                "iteration_time": None,
+                "memory_bytes": None,
+                "costs": {},
+                "n": n,
+                "feasible": False,
+            }
+        else:
+            point_costs = {name: float(costs[name][j]) for name in costs}
+            cost = float(best_cost[j])
+            out[i] = {
+                "strategy": names[int(best_idx[j])],
+                "cost": cost,
+                "iteration_time": cost,
+                "memory_bytes": int(memory[j]),
+                "costs": point_costs,
+                "n": n,
+                "feasible": True,
+            }
 
 
 # -- the evaluator registry ---------------------------------------------------

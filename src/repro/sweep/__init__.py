@@ -31,6 +31,14 @@ from repro.sweep.grid import (
     SYSTEM_NAMES,
     as_scenarios,
 )
+from repro.sweep.resilience import (
+    RetryPolicy,
+    RunManifest,
+    ScenarioError,
+    SweepError,
+    SweepTimeoutError,
+    WorkerCrashError,
+)
 from repro.sweep.runner import (
     VECTORIZE_ENV,
     VECTORIZE_MIN_POINTS,
@@ -48,11 +56,17 @@ __all__ = [
     "AXIS_FIELDS",
     "BACKEND_NAMES",
     "SYSTEM_NAMES",
+    "RetryPolicy",
+    "RunManifest",
     "Scenario",
+    "ScenarioError",
     "ScenarioGrid",
     "ScenarioList",
+    "SweepError",
     "SweepResult",
     "SweepRunner",
+    "SweepTimeoutError",
+    "WorkerCrashError",
     "VECTORIZE_ENV",
     "VECTORIZE_MIN_POINTS",
     "as_scenarios",

@@ -45,11 +45,25 @@ import json
 import os
 import tempfile
 import threading
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.api.backends import Backend, SerialBackend, VectorizedBackend, get_backend
+from repro.sweep.resilience import (
+    ATTEMPTS_KEY,
+    ERROR_KEY,
+    MANIFEST_NAME,
+    RetryPolicy,
+    RunManifest,
+    ScenarioError,
+    WorkerCrashError,
+    error_payload,
+    grid_digest,
+    run_with_policy,
+    run_with_policy_async,
+)
 from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
 from repro.perfmodel.workload import WorkloadSpec
@@ -143,6 +157,23 @@ async def _bound_acall(evaluate: Callable, bound: int, scenario: "Scenario"):
         return await evaluate(scenario)
     finally:
         _MEMO_BOUND.reset(token)
+
+
+def _resilient_call(
+    evaluate: Callable, policy: RetryPolicy, on_error: str, scenario: "Scenario"
+):
+    """One scenario under the retry policy; module-level so the process
+    backend can pickle it (wrapped via :func:`functools.partial`)."""
+    return run_with_policy(evaluate, scenario, policy, on_error=on_error)
+
+
+async def _resilient_acall(
+    evaluate: Callable, policy: RetryPolicy, on_error: str, scenario: "Scenario"
+):
+    """Async twin of :func:`_resilient_call` for coroutine objectives."""
+    return await run_with_policy_async(
+        evaluate, scenario, policy, on_error=on_error
+    )
 
 
 def shared_context(
@@ -353,17 +384,14 @@ def evaluate_eq10(scenario: Scenario) -> dict:
         selector = ctx.evaluator.selector(
             _scenario_spec(scenario), scenario_workload(scenario)
         )
+        # Infeasibility is data; bugs are failures.  Only the selector's
+        # own MemoryError (Eq. 1-5 says no reuse strategy fits the
+        # device) may take the feasible=False shape — any other
+        # exception is routed through the taxonomy with the scenario
+        # attached, so an objective bug can never masquerade as an OOM
+        # wall in the results.
         try:
             result = selector.select(scenario.batch, scenario.n)
-            values = {
-                "strategy": result.strategy.name,
-                "cost": result.cost,
-                "iteration_time": result.cost,
-                "memory_bytes": result.memory_bytes,
-                "costs": dict(result.costs),
-                "n": scenario.n,
-                "feasible": True,
-            }
         except MemoryError:
             values = {
                 "strategy": None,
@@ -373,6 +401,18 @@ def evaluate_eq10(scenario: Scenario) -> dict:
                 "costs": {},
                 "n": scenario.n,
                 "feasible": False,
+            }
+        except Exception as exc:
+            raise ScenarioError(scenario=scenario, cause=exc) from exc
+        else:
+            values = {
+                "strategy": result.strategy.name,
+                "cost": result.cost,
+                "iteration_time": result.cost,
+                "memory_bytes": result.memory_bytes,
+                "costs": dict(result.costs),
+                "n": scenario.n,
+                "feasible": True,
             }
         return _with_cache_stats(ctx, before, values)
 
@@ -386,12 +426,21 @@ class SweepResult:
     through the on-disk cache; ``None`` when the evaluator did not
     report any.  It lives beside — not inside — ``values`` so the
     physical results stay byte-identical across worker layouts.
+
+    ``ok`` / ``error`` / ``attempts`` are the partial-failure fields: a
+    scenario kept alive through ``on_error="keep"`` comes back with
+    ``ok=False``, empty ``values``, and the serialized taxonomy error
+    (see :func:`repro.sweep.resilience.error_payload`); ``attempts``
+    counts evaluation attempts, cumulative across resumed runs.
     """
 
     scenario: Scenario
     values: dict
     cached: bool = False
     cache_stats: dict | None = None
+    ok: bool = True
+    error: dict | None = None
+    attempts: int = 1
 
     def __getitem__(self, key: str):
         return self.values[key]
@@ -436,6 +485,21 @@ class SweepRunner:
     use.  Vectorized results carry no per-scenario cache stats
     (``cache_stats=None``) — there is no per-scenario evaluator work to
     attribute.
+
+    Fault tolerance rides three knobs.  ``retry`` is a
+    :class:`~repro.sweep.resilience.RetryPolicy` (or an int, shorthand
+    for ``RetryPolicy(max_attempts=retry)``) giving each scenario
+    bounded re-attempts with deterministic backoff and an optional
+    per-attempt timeout.  ``on_error`` picks the partial-failure
+    semantics: ``"raise"`` (the default — the first failing scenario
+    propagates, exactly today's behavior) or ``"keep"``, which turns
+    failures into ``SweepResult(ok=False, error=...)`` rows so one bad
+    point cannot sink a thousand-point sweep.  ``resume=True`` replays
+    a previous run from the ``manifest.json`` written next to the cache
+    files, re-executing only failed-or-missing points and accumulating
+    attempt counts across runs.  With all three at their defaults the
+    runner is byte-identical to the pre-resilience code path: no
+    wrapper around the evaluator, no manifest on disk.
     """
 
     def __init__(
@@ -446,19 +510,45 @@ class SweepRunner:
         backend: "str | Backend" = "process",
         evaluator_max_entries: int | None = None,
         vectorize: bool | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        on_error: str = "raise",
+        resume: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._backend = get_backend(backend)  # rejects unknown backend names
         if evaluator_max_entries is not None and evaluator_max_entries < 1:
             raise ValueError("evaluator_max_entries must be >= 1 (or None)")
+        if isinstance(retry, int) and not isinstance(retry, bool):
+            retry = RetryPolicy(max_attempts=retry)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, an int (max attempts), or "
+                f"None, got {type(retry).__name__}"
+            )
+        if on_error not in ("raise", "keep"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'keep', got {on_error!r}"
+            )
+        if resume and cache_dir is None:
+            raise ValueError("resume=True needs a cache_dir to resume from")
         self.evaluate = evaluate
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
         self.backend = backend if isinstance(backend, str) else self._backend.name
         self.evaluator_max_entries = evaluator_max_entries
         self.vectorize = vectorize
+        self.retry = retry
+        self.on_error = on_error
+        self.resume = resume
+        #: Cache entries quarantined (renamed ``*.json.corrupt``) so far.
+        self.quarantined = 0
         self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
+
+    @property
+    def _resilient(self) -> bool:
+        """Whether evaluations go through the resilience wrapper."""
+        return self.retry is not None or self.on_error == "keep"
 
     # -- cache -----------------------------------------------------------------
     def cache_path(self, scenario: Scenario) -> Path | None:
@@ -466,22 +556,59 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{scenario.key(self._salt)}.json"
 
-    def _cache_load(self, scenario: Scenario) -> tuple[dict, dict | None] | None:
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad cache entry aside as ``<name>.json.corrupt``.
+
+        Renamed, not deleted: the bytes stay available for post-mortem
+        (what corrupted it? which library version wrote it?), while the
+        recompute path sees a clean miss and writes a fresh entry.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return  # a concurrent sweep already moved or replaced it
+        self.quarantined += 1
+
+    def _cache_load(
+        self, scenario: Scenario
+    ) -> tuple[dict, dict | None, int] | None:
         path = self.cache_path(scenario)
         if path is None or not path.is_file():
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None  # unreadable entry: treat as a miss and rewrite
+        except OSError:
+            return None  # transiently unreadable: miss, but do not touch it
+        except json.JSONDecodeError:
+            self._quarantine(path)  # undecodable bytes: torn or corrupted
+            return None
         if not isinstance(payload, dict) or not isinstance(
             payload.get("values"), dict
         ):
-            return None  # foreign/corrupt entry shape: miss and rewrite
-        return payload["values"], payload.get("evaluator_cache")
+            self._quarantine(path)  # foreign/corrupt entry shape
+            return None
+        # Version-skew check: the stored scenario payload must round-trip
+        # the *current* Scenario dataclass back to this exact point.  An
+        # entry written by an older/newer library (extra field, renamed
+        # axis, changed default) fails here and is quarantined rather
+        # than served as a stale hit under a colliding key.
+        try:
+            if Scenario(**payload.get("scenario", {})) != scenario:
+                raise ValueError("cache entry resolves to a different scenario")
+        except (TypeError, ValueError):
+            self._quarantine(path)
+            return None
+        attempts = payload.get("attempts", 1)
+        if not isinstance(attempts, int) or attempts < 1:
+            attempts = 1
+        return payload["values"], payload.get("evaluator_cache"), attempts
 
     def _cache_store(
-        self, scenario: Scenario, values: dict, stats: dict | None
+        self,
+        scenario: Scenario,
+        values: dict,
+        stats: dict | None,
+        attempts: int = 1,
     ) -> None:
         path = self.cache_path(scenario)
         if path is None:
@@ -492,6 +619,8 @@ class SweepRunner:
         payload = {"scenario": asdict(scenario), "values": values}
         if stats is not None:
             payload["evaluator_cache"] = stats
+        if attempts > 1:  # only written when retries happened: healthy
+            payload["attempts"] = attempts  # runs keep byte-stable files
         # Write-then-rename so concurrent sweeps never read a torn file.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -517,18 +646,32 @@ class SweepRunner:
         one bounded, one not) running concurrently would clobber each
         other's value.  The bound now rides a context variable set
         around each call, scoped to the evaluating thread or worker.
+
+        When the runner is resilient the retry loop wraps *outside* the
+        memo-bound wrapper — each attempt gets the bound in scope — and
+        the whole stack stays a :func:`functools.partial` over
+        module-level functions, so process-backend workers unpickle it
+        (and ``iscoroutinefunction`` still sees through to an async
+        objective, keeping asyncio-backend dispatch correct).
         """
-        if self.evaluator_max_entries is None:
-            return self.evaluate
-        wrapper = (
-            _bound_acall
-            if inspect.iscoroutinefunction(self.evaluate)
-            else _bound_call
-        )
-        return functools.partial(wrapper, self.evaluate, self.evaluator_max_entries)
+        is_async = inspect.iscoroutinefunction(self.evaluate)
+        fn: Callable = self.evaluate
+        if self.evaluator_max_entries is not None:
+            wrapper = _bound_acall if is_async else _bound_call
+            fn = functools.partial(wrapper, fn, self.evaluator_max_entries)
+        if self._resilient:
+            policy = self.retry if self.retry is not None else RetryPolicy()
+            wrapper = _resilient_acall if is_async else _resilient_call
+            fn = functools.partial(wrapper, fn, policy, self.on_error)
+        return fn
 
     def _use_batch_path(self, misses: list[Scenario]) -> bool:
         """Whether this run's misses go through the whole-grid pass."""
+        if self._resilient:
+            # A whole-grid numpy pass cannot honor per-scenario retry,
+            # timeout, or keep-going semantics; resilient runs take the
+            # per-scenario path where the wrapper is in the loop.
+            return False
         if isinstance(self._backend, VectorizedBackend):
             return True  # the backend was named explicitly; it decides
         if self.vectorize is False:
@@ -567,6 +710,43 @@ class SweepRunner:
         finally:
             _MEMO_BOUND.reset(token)
 
+    def _salvage_crash(
+        self, exc: BrokenProcessPool, misses: list[Scenario]
+    ) -> list[dict]:
+        """Fold an unrecoverable pool crash into the failure semantics.
+
+        The process backend already respawned the pool and retried the
+        unfinished shard up to its budget; by the time the exception
+        reaches the runner it carries ``partial_results`` (index ->
+        values) and ``pending_items``.  ``on_error="keep"`` converts the
+        pending points into :class:`WorkerCrashError` rows and keeps the
+        salvaged values; otherwise the crash propagates through the
+        taxonomy with every pending scenario attached.
+        """
+        partial = getattr(exc, "partial_results", None) or {}
+        pending = getattr(exc, "pending_items", None)
+        if pending is None:
+            pending = [i for i in range(len(misses)) if i not in partial]
+        pending_scenarios = tuple(misses[i] for i in pending)
+        if self.on_error != "keep":
+            raise WorkerCrashError(
+                scenario=pending_scenarios[0] if pending_scenarios else None,
+                pending=pending_scenarios,
+                cause=exc,
+            ) from exc
+        computed: list[dict] = []
+        for i in range(len(misses)):
+            if i in partial:
+                computed.append(partial[i])
+                continue
+            crash = WorkerCrashError(
+                scenario=misses[i], pending=pending_scenarios, cause=exc
+            )
+            computed.append(
+                {ERROR_KEY: error_payload(crash), ATTEMPTS_KEY: 1}
+            )
+        return computed
+
     def _run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
         points = list(scenarios)
 
@@ -577,9 +757,13 @@ class SweepRunner:
         # 10k-point whole-grid runs where hashing rivals pricing.
         slot_of: dict[Scenario, int] = {}
         slots: list[int] = []  # per point, in order
+        slot_scenarios: list[Scenario] = []  # per slot
         values: list[dict] = []  # per slot
         stats: list[dict | None] = []
         cached: list[bool] = []
+        attempts: list[int] = []
+        errors: list[dict | None] = []
+        quarantined: list[bool] = []
         misses: list[Scenario] = []
         miss_slots: list[int] = []
         caching = self.cache_dir is not None
@@ -588,32 +772,96 @@ class SweepRunner:
             slots.append(slot)
             if slot < len(values):
                 continue  # repeated point: reuse the first slot
+            slot_scenarios.append(sc)
+            quarantined_before = self.quarantined
             hit = self._cache_load(sc) if caching else None
+            quarantined.append(self.quarantined > quarantined_before)
+            errors.append(None)
             if hit is not None:
-                hit_values, hit_stats = hit
+                hit_values, hit_stats, hit_attempts = hit
                 values.append(hit_values)
                 stats.append(hit_stats)
                 cached.append(True)
+                attempts.append(hit_attempts)
             else:
                 values.append({})  # placeholder keeps dedupe order stable
                 stats.append(None)
                 cached.append(False)
+                attempts.append(1)
                 misses.append(sc)
                 miss_slots.append(slot)
 
-        if misses:
-            if self._use_batch_path(misses):
-                computed = self._batch_map(misses)
-            else:
-                computed = self._backend.map(
-                    self._bound_evaluate(), misses, workers=self.workers
+        # The run manifest exists only when it can matter — a resilient
+        # or resuming run with a cache to anchor it.  Plain runs keep
+        # the exact disk layout they have always had (cache files only).
+        manifest = prior = None
+        keys: list[str] | None = None
+        if caching and (self.resume or self._resilient):
+            keys = [sc.key(self._salt) for sc in slot_scenarios]
+            digest = grid_digest(keys)
+            prior = RunManifest.load(self.cache_dir) if self.resume else None
+            if prior is not None and prior.grid_hash != digest:
+                raise ValueError(
+                    f"resume=True but {MANIFEST_NAME} under "
+                    f"{self.cache_dir} records a different grid (stored "
+                    f"{prior.grid_hash}, this run {digest}); point resume "
+                    f"at the original grid or use a fresh cache_dir"
                 )
+            manifest = RunManifest(self.cache_dir, digest)
+            for slot, sc in enumerate(slot_scenarios):
+                if cached[slot]:
+                    manifest.record(keys[slot], "ok", attempts[slot])
+
+        if misses:
+            try:
+                if self._use_batch_path(misses):
+                    computed = self._batch_map(misses)
+                else:
+                    computed = self._backend.map(
+                        self._bound_evaluate(), misses, workers=self.workers
+                    )
+            except BaseException as exc:
+                if manifest is not None:
+                    manifest.write()  # completed hits stay on record
+                if isinstance(exc, BrokenProcessPool):
+                    computed = self._salvage_crash(exc, misses)
+                else:
+                    raise
             for sc, slot, vals in zip(misses, miss_slots, computed):
                 sc_stats = vals.pop(CACHE_STATS_KEY, None)
-                values[slot] = vals
+                sc_attempts = vals.pop(ATTEMPTS_KEY, 1)
+                error = vals.pop(ERROR_KEY, None)
+                if prior is not None:
+                    # A resumed point's attempt count is cumulative
+                    # across runs — the proof that resume re-executed
+                    # it rather than recomputing from scratch.
+                    sc_attempts += prior.prior_attempts(keys[slot])
+                attempts[slot] = sc_attempts
+                if error is None:
+                    values[slot] = vals
+                    if caching:
+                        self._cache_store(
+                            sc, vals, sc_stats, attempts=sc_attempts
+                        )
+                    if manifest is not None:
+                        manifest.record(keys[slot], "ok", sc_attempts)
+                else:
+                    # Failures become result rows, never cache entries:
+                    # a later run (resumed or not) must re-evaluate.
+                    errors[slot] = error
+                    if manifest is not None:
+                        manifest.record(
+                            keys[slot], "failed", sc_attempts, error
+                        )
+                if quarantined[slot]:
+                    # Surfaced on the in-memory result only — the fresh
+                    # cache entry describes a healthy recompute.
+                    sc_stats = dict(sc_stats or {})
+                    sc_stats["quarantined"] = 1
                 stats[slot] = sc_stats
-                if caching:
-                    self._cache_store(sc, vals, sc_stats)
+
+        if manifest is not None:
+            manifest.write()
 
         return [
             SweepResult(
@@ -621,6 +869,9 @@ class SweepRunner:
                 values=values[slot],
                 cached=cached[slot],
                 cache_stats=stats[slot],
+                ok=errors[slot] is None,
+                error=errors[slot],
+                attempts=attempts[slot],
             )
             for sc, slot in zip(points, slots)
         ]

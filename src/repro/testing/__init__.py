@@ -1,0 +1,23 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the resilience suite (and the CI fault smoke) drives sweeps
+through: scripted scenario failures, hangs, worker kills, and cache
+corruption, all reproducible run to run.
+"""
+
+from repro.testing.faults import (
+    FAULT_PLAN_ENV,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    active_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "active_plan",
+]

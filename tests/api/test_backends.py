@@ -233,3 +233,74 @@ class TestBackendEquivalence:
                       batch=1024, n=2)]
         )
         assert result["makespan"] > 0
+
+
+# -- worker-death absorption and exception routing ----------------------------
+def kill_once(item):
+    """Dies (SIGKILL) the first time it sees the victim value; the
+    attempt counter is an appended-byte file, durable across the kill."""
+    import os
+    import signal
+
+    value, counter, victim = item
+    if value == victim:
+        with open(counter, "a") as fh:
+            fh.write("x")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.getsize(counter) < 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def kill_always(item):
+    import os
+    import signal
+
+    value, victim = item
+    if value == victim:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def raise_runtime(item):
+    raise RuntimeError(f"objective bug at {item}")
+
+
+class TestWorkerDeathAbsorption:
+    def test_pool_respawn_retries_only_the_unfinished_shard(self, tmp_path):
+        counter = tmp_path / "attempts"
+        items = [(i, str(counter), 3) for i in range(6)]
+        results = ProcessBackend().map(kill_once, items, workers=2)
+        assert results == [i * 2 for i in range(6)]
+        assert counter.read_text() == "xx"  # killed once, retried once
+
+    def test_exhausted_respawns_carry_the_salvaged_results(self, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        items = [(i, 3) for i in range(6)]
+        with pytest.raises(BrokenProcessPool) as info:
+            ProcessBackend(max_pool_respawns=0).map(
+                kill_always, items, workers=2
+            )
+        assert 3 in info.value.pending_items
+        salvaged = info.value.partial_results
+        assert all(salvaged[i] == items[i][0] * 2 for i in salvaged)
+
+    def test_respawn_budget_validation(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(max_pool_respawns=-1)
+
+    def test_asyncio_backend_propagates_objective_runtime_errors(self):
+        """An evaluator raising RuntimeError must surface as the
+        objective's failure, not be mistaken for the running-loop
+        detection's RuntimeError and rerouted."""
+        with pytest.raises(RuntimeError, match="objective bug"):
+            AsyncioBackend().map(raise_runtime, [1, 2], workers=2)
+
+    def test_asyncio_backend_propagates_runtime_errors_inside_a_loop(self):
+        async def driver():
+            return AsyncioBackend().map(raise_runtime, [1, 2], workers=2)
+
+        with pytest.raises(RuntimeError, match="objective bug"):
+            asyncio.run(driver())

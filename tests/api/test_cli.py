@@ -166,3 +166,81 @@ def test_unknown_backend_is_a_clean_failure(capsys):
 def test_missing_subcommand_exits_nonzero():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- fault tolerance flags ----------------------------------------------------
+def _install_smoke_fault(tmp_path, monkeypatch, **fault_kwargs):
+    from repro.testing.faults import FAULT_PLAN_ENV, Fault, FaultPlan
+
+    plan = FaultPlan([Fault(**fault_kwargs)], tmp_path / "faults")
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.install())
+    return plan
+
+
+def test_keep_going_exits_3_and_serializes_failures(
+    tmp_path, monkeypatch, capsys
+):
+    _install_smoke_fault(
+        tmp_path, monkeypatch, kind="fail",
+        match={"batch": 1024, "n": 1, "strategy": "S1"},
+    )
+    out = tmp_path / "faulty.json"
+    code = main(["sweep", "--smoke", "--keep-going", "--json", str(out)])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "FAILED" in err and "1 of" in err
+    payload = json.loads(out.read_text())
+    failed = [p for p in payload if not p.get("ok", True)]
+    assert len(failed) == 1
+    assert failed[0]["scenario"]["strategy"] == "S1"
+    assert failed[0]["error"]["cause"] == "FaultInjected"
+    # Healthy rows keep the exact pre-resilience JSON shape.
+    assert all("ok" not in p for p in payload if p not in failed)
+
+
+def test_retries_flag_converges_a_flaky_objective(tmp_path, monkeypatch):
+    baseline = tmp_path / "baseline.json"
+    assert main(["sweep", "--smoke", "--quiet", "--json", str(baseline)]) == 0
+    _install_smoke_fault(
+        tmp_path, monkeypatch, kind="fail", attempts_below=3,
+        match={"batch": 1024, "n": 1, "strategy": "S1"},
+    )
+    out = tmp_path / "retried.json"
+    assert main([
+        "sweep", "--smoke", "--quiet", "--retries", "2", "--json", str(out),
+    ]) == 0
+    assert out.read_text() == baseline.read_text()  # byte-identical recovery
+
+
+def test_keep_going_without_failures_exits_0(tmp_path):
+    assert main(["sweep", "--smoke", "--quiet", "--keep-going"]) == 0
+
+
+def test_negative_retries_is_a_clean_failure(capsys):
+    assert main(["sweep", "--smoke", "--quiet", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+def test_resume_flag_needs_a_cache_dir(capsys):
+    assert main(["sweep", "--smoke", "--quiet", "--resume"]) == 2
+    assert "cache_dir" in capsys.readouterr().err
+
+
+def test_resume_flag_picks_up_a_failed_run(tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    plan = _install_smoke_fault(
+        tmp_path, monkeypatch, kind="fail",
+        match={"batch": 1024, "n": 1, "strategy": "S1"},
+    )
+    assert main([
+        "sweep", "--smoke", "--quiet", "--keep-going",
+        "--cache-dir", str(cache),
+    ]) == 3
+    plan.uninstall()
+    out = tmp_path / "resumed.json"
+    assert main([
+        "sweep", "--smoke", "--quiet", "--keep-going", "--resume",
+        "--cache-dir", str(cache), "--json", str(out),
+    ]) == 0
+    payload = json.loads(out.read_text())
+    assert all(p.get("ok", True) for p in payload)
