@@ -1,0 +1,58 @@
+"""Shared plumbing for the ``bench_*.py`` scripts.
+
+Every benchmark in this directory does the same three things around its
+actual measurements: wall-clock a callable with ``perf_counter``, stamp
+the run with a UTC timestamp, and append a record to its trajectory
+file (``benchmarks/results/BENCH_*.json``, a JSON array that grows one
+entry per run).  This module is that boilerplate, extracted once —
+the JSON bytes it writes are identical to what the scripts produced
+inline, so existing trajectory files keep appending seamlessly.
+
+Stdlib-only, like the scripts themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+
+def utc_timestamp() -> str:
+    """The trajectory-record timestamp: ``2023-01-31T12:34:56Z``."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def timed(fn, *args, **kwargs) -> tuple:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, wall_seconds)``.
+
+    Wall time is a ``time.perf_counter`` delta around the call and
+    nothing else — no warmup, no repetition; benchmarks own those.
+    """
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def append_record(path: pathlib.Path, record: dict) -> None:
+    """Append ``record`` to the JSON-array trajectory file at ``path``.
+
+    Creates the parent directory on first use.  An unreadable or
+    non-array file restarts the trajectory rather than crashing — a
+    benchmark run should never die on its own bookkeeping.  Writes
+    ``json.dumps(history, indent=1, sort_keys=True)`` plus a trailing
+    newline (the exact historical format) and prints the one-line
+    confirmation the scripts always printed.
+    """
+    path.parent.mkdir(exist_ok=True)
+    history: list = []
+    if path.is_file():
+        try:
+            previous = json.loads(path.read_text())
+            if isinstance(previous, list):
+                history = previous
+        except (OSError, json.JSONDecodeError):
+            pass  # unreadable trajectory: restart it rather than crash
+    history.append(record)
+    path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    print(f"appended run {len(history)} to {path}")

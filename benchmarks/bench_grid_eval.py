@@ -15,7 +15,10 @@ scenarios (six template groups — S1 and S4 across the granularity axis
    >= 50x the serial runner's points/second.  The serial baseline runs
    the same ``SweepRunner`` with ``vectorize=False`` on the ``serial``
    backend against a fresh context pool (cold memo, like any first
-   sweep).
+   sweep).  Both walls are the best of a few repetitions (each one
+   memo-cold): the vectorized pass finishes in tens of milliseconds,
+   where a single-shot reading is scheduler-noise-dominated and would
+   make the gate flaky on shared CI boxes.
 
 Results append to ``benchmarks/results/BENCH_grid.json``.
 
@@ -25,12 +28,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_grid_eval.py [--smoke]
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import struct
 import sys
-import time
 
+from _harness import append_record, timed, utc_timestamp
 from repro.sweep import SweepRunner, evaluate_timeline
 from repro.sweep.grid import ScenarioGrid
 from repro.sweep import runner as runner_mod
@@ -58,6 +60,11 @@ BATCH_COUNT = 2048
 
 SPEEDUP_GATE = 50.0
 
+#: Timing repetitions (best wall wins).  The vectorized pass is ~100x
+#: shorter than the serial one, so it gets the extra samples.
+VEC_REPS = 3
+SERIAL_REPS = 2
+
 
 def build_grid(args) -> list:
     batches = tuple(range(BATCH_START, BATCH_START + 2 * BATCH_COUNT, 2))
@@ -82,11 +89,15 @@ def fresh_contexts() -> None:
         runner_mod._CONTEXTS.clear()
 
 
-def timed_run(runner: SweepRunner, scenarios) -> tuple[list, float]:
-    fresh_contexts()
-    t0 = time.perf_counter()
-    results = runner.run(scenarios)
-    return results, time.perf_counter() - t0
+def timed_run(runner: SweepRunner, scenarios, reps: int = 1) -> tuple[list, float]:
+    """Best-of-``reps`` cold-memo wall; the results of the first rep."""
+    results, best = None, float("inf")
+    for _ in range(reps):
+        fresh_contexts()
+        out, wall = timed(runner.run, scenarios)
+        results = out if results is None else results
+        best = min(best, wall)
+    return results, best
 
 
 def value_bits(values: dict) -> tuple:
@@ -120,8 +131,8 @@ def main(argv: list[str] | None = None) -> int:
     vectorized.run(warmup)
     serial.run(warmup)
 
-    vec_results, vec_wall = timed_run(vectorized, scenarios)
-    serial_results, serial_wall = timed_run(serial, scenarios)
+    vec_results, vec_wall = timed_run(vectorized, scenarios, reps=VEC_REPS)
+    serial_results, serial_wall = timed_run(serial, scenarios, reps=SERIAL_REPS)
 
     mismatches = sum(
         value_bits(v.values) != value_bits(s.values)
@@ -154,11 +165,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{SPEEDUP_GATE:g}x gate", file=sys.stderr)
         ok = False
 
-    RESULTS_JSON.parent.mkdir(exist_ok=True)
     record = {
         "benchmark": "bench_grid_eval",
         "mode": "smoke" if args.smoke else "full",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_timestamp(),
         "spec": SPEC,
         "world_size": WORLD,
         "points": points,
@@ -170,17 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         "mismatches": mismatches,
         "ok": ok,
     }
-    history: list = []
-    if RESULTS_JSON.is_file():
-        try:
-            previous = json.loads(RESULTS_JSON.read_text())
-            if isinstance(previous, list):
-                history = previous
-        except (OSError, json.JSONDecodeError):
-            pass  # unreadable trajectory: restart it rather than crash
-    history.append(record)
-    RESULTS_JSON.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
-    print(f"appended run {len(history)} to {RESULTS_JSON}")
+    append_record(RESULTS_JSON, record)
 
     if not ok:
         return 1

@@ -31,11 +31,10 @@ Run:  PYTHONPATH=src python benchmarks/bench_routing_axes.py [--smoke]
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
-import time
 
+from _harness import append_record, timed, utc_timestamp
 from repro.api import ScenarioGrid, Study
 from repro.config import get_preset
 from repro.perfmodel.workload import WorkloadSpec
@@ -205,9 +204,7 @@ def routing_grid_sweep(args) -> dict:
             imbalances=(1.0, 4.0), capacity_factors=(None, 1.25),
         )
     study = Study(grid).backend("thread").workers(args.workers)
-    t0 = time.perf_counter()
-    results = study.run()
-    wall = time.perf_counter() - t0
+    results, wall = timed(study.run)
     print(results.table(
         ["label", "n", "strategy", ("time (s)", "iteration_time")],
         title=f"Routing grid, {len(results)} scenarios, thread backend",
@@ -241,26 +238,15 @@ def routing_grid_sweep(args) -> dict:
 def emit_json(mode: str, imbalance_payload: dict, topk_payload: dict,
               grid_payload: dict) -> None:
     """Append this run's record to the trajectory file (a JSON array)."""
-    RESULTS_JSON.parent.mkdir(exist_ok=True)
     record = {
         "benchmark": "bench_routing_axes",
         "mode": mode,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_timestamp(),
         "imbalance_sweep": imbalance_payload,
         "topk_dtype": topk_payload,
         "routing_grid": grid_payload,
     }
-    history: list = []
-    if RESULTS_JSON.is_file():
-        try:
-            previous = json.loads(RESULTS_JSON.read_text())
-            if isinstance(previous, list):
-                history = previous
-        except (OSError, json.JSONDecodeError):
-            pass  # unreadable trajectory: restart it rather than crash
-    history.append(record)
-    RESULTS_JSON.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
-    print(f"appended run {len(history)} to {RESULTS_JSON}")
+    append_record(RESULTS_JSON, record)
 
 
 def main(argv: list[str] | None = None) -> int:

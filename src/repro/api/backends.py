@@ -27,9 +27,13 @@ and the ``python -m repro`` CLI.  Every call site also accepts a
 :class:`Backend` *instance* directly, so configured backends need no
 registration at all.
 
-This module is deliberately free of ``repro`` imports: the legacy
-:class:`~repro.sweep.runner.SweepRunner` delegates here without creating
-an import cycle with the :mod:`repro.api` facade above it.
+This module is deliberately free of ``repro`` imports — with one
+carve-out: :mod:`repro.obs.bus`, which itself imports nothing outside
+the standard library, so the legacy :class:`~repro.sweep.runner
+.SweepRunner` still delegates here without creating an import cycle
+with the :mod:`repro.api` facade above it.  Backends emit
+``backend.item`` / ``backend.shard`` / ``backend.pool_respawn`` events
+when observability is on and pay a single boolean check when it is off.
 
 Determinism contract: a backend must return ``[fn(item) for item in
 items]`` — same values, same order — differing only in *how* the calls
@@ -43,9 +47,13 @@ from __future__ import annotations
 import abc
 import asyncio
 import inspect
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
+
+from repro.obs.bus import active as _obs_active
+from repro.obs.bus import emit as _obs_emit
 
 
 class Backend(abc.ABC):
@@ -70,6 +78,16 @@ class Backend(abc.ABC):
                 f"use backend='asyncio' for async evaluators"
             )
 
+    def _inline_map(self, fn, items) -> list:
+        """The reference loop, ticking ``backend.item`` when observed."""
+        if not _obs_active():
+            return [fn(item) for item in items]
+        out = []
+        for item in items:
+            out.append(fn(item))
+            _obs_emit("backend.item", backend=self.name)
+        return out
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"
 
@@ -81,7 +99,7 @@ class SerialBackend(Backend):
 
     def map(self, fn, items, *, workers: int = 1) -> list:
         self._require_sync(fn)
-        return [fn(item) for item in items]
+        return self._inline_map(fn, items)
 
 
 class ThreadBackend(Backend):
@@ -92,9 +110,15 @@ class ThreadBackend(Backend):
     def map(self, fn, items, *, workers: int = 1) -> list:
         self._require_sync(fn)
         if workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._inline_map(fn, items)
+        call = fn
+        if _obs_active():
+            def call(item, _fn=fn, _name=self.name):
+                value = _fn(item)
+                _obs_emit("backend.item", backend=_name)
+                return value
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(call, items))
 
 
 class ProcessBackend(Backend):
@@ -121,23 +145,38 @@ class ProcessBackend(Backend):
         self._require_sync(fn)
         items = list(items)
         if workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._inline_map(fn, items)
+        observing = _obs_active()
         results: dict[int, Any] = {}
         pending = list(range(len(items)))
         respawns = 0
         while pending:
             crash = None
+            if observing:
+                shard_ts = time.time()
+                shard_p0 = time.perf_counter()
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {i: pool.submit(fn, items[i]) for i in pending}
                 for i in pending:
                     try:
                         results[i] = futures[i].result()
+                        if observing:
+                            _obs_emit("backend.item", backend=self.name)
                     except BrokenProcessPool as exc:
                         # The pool is gone; completed futures still
                         # yield results, so keep draining the shard.
                         crash = exc
                     # Any other exception is the evaluator's own and
                     # propagates, matching the serial loop's semantics.
+            if observing:
+                _obs_emit(
+                    "backend.shard",
+                    backend=self.name,
+                    items=len(futures),
+                    ok=crash is None,
+                    ts=shard_ts,
+                    dur=time.perf_counter() - shard_p0,
+                )
             pending = [i for i in pending if i not in results]
             if crash is None or not pending:
                 break
@@ -146,6 +185,13 @@ class ProcessBackend(Backend):
                 crash.partial_results = dict(results)
                 crash.pending_items = list(pending)
                 raise crash
+            if observing:
+                _obs_emit(
+                    "backend.pool_respawn",
+                    backend=self.name,
+                    respawns=respawns,
+                    pending=len(pending),
+                )
         return [results[i] for i in range(len(items))]
 
 
@@ -186,12 +232,17 @@ class AsyncioBackend(Backend):
     async def _gather(self, fn, items, workers: int) -> list:
         semaphore = asyncio.Semaphore(workers)
         is_async = inspect.iscoroutinefunction(fn)
+        observing = _obs_active()
 
         async def one(item):
             async with semaphore:
                 if is_async:
-                    return await fn(item)
-                return await asyncio.to_thread(fn, item)
+                    value = await fn(item)
+                else:
+                    value = await asyncio.to_thread(fn, item)
+                if observing:
+                    _obs_emit("backend.item", backend=self.name)
+                return value
 
         return list(await asyncio.gather(*(one(item) for item in items)))
 

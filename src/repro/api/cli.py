@@ -133,6 +133,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="resume a previous run from its cache manifest "
                             "(needs --cache-dir), re-running only "
                             "failed-or-missing points")
+        p.add_argument("--metrics", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="collect run metrics; write the run-report "
+                            "JSON to PATH, or to stderr with no PATH "
+                            "(one also lands in --cache-dir)")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome-trace JSON of the run here "
+                            "(open in chrome://tracing or ui.perfetto.dev)")
+        p.add_argument("--progress", action="store_true",
+                       help="render a live N/total progress line on stderr")
 
     sweep = sub.add_parser("sweep", help="run a scenario grid built from flags")
     sweep.add_argument("--systems", nargs="+", default=["mpipemoe"],
@@ -186,14 +196,29 @@ def _finish(study: Study, args, title: str) -> int:
             f"({stats['disk_hits']} disk hits, "
             f"{stats['evaluator_hits']} evaluator-memo hits)"
         )
-        for failure in failures:
-            error = failure.error or {}
-            print(
-                f"FAILED {failure.label}: {error.get('type', 'SweepError')}: "
-                f"{error.get('message', '')} "
-                f"[{failure.attempts} attempt(s)]",
-                file=sys.stderr,
-            )
+    # One line per failure, on stderr, regardless of --quiet: exit code
+    # 3 alone tells a CI log *that* something failed but not *what* —
+    # the scenario key, error class, and attempt count always surface.
+    for failure in failures:
+        error = failure.error or {}
+        print(
+            f"FAILED {failure.label}: {error.get('type', 'SweepError')}: "
+            f"{error.get('message', '')} "
+            f"[{failure.attempts} attempt(s)]",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        report = results.metrics()
+        if report is not None:
+            payload = json.dumps(report, indent=1, sort_keys=True)
+            if args.metrics == "-":
+                print(payload, file=sys.stderr)
+            else:
+                path = Path(args.metrics)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(payload + "\n")
+                if not args.quiet:
+                    print(f"wrote {path}")
     if args.json:
         payload = results.to_json()
         if args.json == "-":
@@ -207,11 +232,10 @@ def _finish(study: Study, args, title: str) -> int:
     if failures:
         # Distinct from the usage/validation exit (2): the run finished
         # but carried failed scenarios the caller must not ignore.
-        if not args.quiet:
-            print(
-                f"{len(failures)} of {len(results)} scenario(s) failed",
-                file=sys.stderr,
-            )
+        print(
+            f"{len(failures)} of {len(results)} scenario(s) failed",
+            file=sys.stderr,
+        )
         return 3
     return 0
 
@@ -237,6 +261,13 @@ def _apply_run_flags(study: Study, args) -> Study:
         )
     if args.resume:
         study = study.resume()
+    if args.metrics is not None or args.trace is not None or args.progress:
+        # Any observability flag turns the collectors on; the run-report
+        # JSON itself is written by _finish (and, with --cache-dir, also
+        # lands beside manifest.json automatically).
+        study = study.observe(
+            True, trace=args.trace, progress=args.progress
+        )
     return study
 
 

@@ -170,10 +170,15 @@ class ResultSet(Sequence):
     grids (``results[:len(first_grid)]``) keeps the accessors.
     """
 
-    def __init__(self, results: Iterable[SweepResult] = ()) -> None:
+    def __init__(
+        self,
+        results: Iterable[SweepResult] = (),
+        metrics: dict | None = None,
+    ) -> None:
         self._results: tuple[StudyResult, ...] = tuple(
             StudyResult.of(r) for r in results
         )
+        self._metrics = metrics
 
     # -- sequence protocol -----------------------------------------------------
     def __len__(self) -> int:
@@ -263,6 +268,15 @@ class ResultSet(Sequence):
         scenarios whose cache entry was found corrupt and moved aside
         (``*.json.corrupt``) before recomputing; ``failures`` counts
         kept-failure rows.
+
+        Rows that report *no* memo delta are counted instead of silently
+        dropped: ``vectorized`` counts rows priced by a whole-grid batch
+        pass (they carry group-level ``batch_group`` stats, not memo
+        deltas), ``uninstrumented`` counts rows with no stats at all (a
+        custom evaluator that never called the memoized layer, or a
+        cache hit written before stats existed) — so ``reported +
+        vectorized + uninstrumented == scenarios`` always holds and a
+        dashboard can tell "nothing measured" from "nothing to measure".
         """
         stats = {
             "scenarios": len(self._results),
@@ -270,18 +284,38 @@ class ResultSet(Sequence):
             "evaluator_hits": 0,
             "evaluator_misses": 0,
             "reported": 0,
+            "uninstrumented": 0,
+            "vectorized": 0,
             "quarantined": 0,
             "failures": sum(not r.ok for r in self._results),
         }
         for result in self._results:
             delta = result.cache_stats
             if delta is None:
+                stats["uninstrumented"] += 1
+                continue
+            if "batch_group" in delta and "hits" not in delta:
+                # Whole-grid rows: group accounting only, no memo delta.
+                stats["vectorized"] += 1
+                stats["quarantined"] += delta.get("quarantined", 0)
                 continue
             stats["reported"] += 1
             stats["evaluator_hits"] += delta.get("hits", 0)
             stats["evaluator_misses"] += delta.get("misses", 0)
             stats["quarantined"] += delta.get("quarantined", 0)
         return stats
+
+    def metrics(self) -> dict | None:
+        """The run report attached by an observed run, or ``None``.
+
+        Shape (see :mod:`repro.obs`): ``{"version": ..., "run":
+        {points/backend/workers/cached/failures/wall_s}, "metrics":
+        {"counters": ..., "gauges": ..., "histograms": ...}}``.  Only
+        present when the study ran with observability on
+        (:meth:`~repro.api.study.Study.observe`); plain runs return
+        ``None`` and pay nothing.
+        """
+        return self._metrics
 
     # -- export ----------------------------------------------------------------
     def to_json(

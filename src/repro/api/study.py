@@ -28,10 +28,12 @@ Studies serialize: :meth:`Study.describe` emits a JSON-able spec and
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Callable, Iterable
 
 from repro.api.backends import Backend, get_backend
 from repro.api.result import ResultSet
+from repro.obs import ObsSession
 from repro.sweep.grid import (
     AXIS_FIELDS,
     Scenario,
@@ -116,6 +118,7 @@ class Study:
             )
         self._on_error = on_error
         self._resume = bool(resume)
+        self._observe: "dict | ObsSession | None" = None
         self._overlay: dict = {}
 
     # -- fluent builders (copy-on-write) ---------------------------------------
@@ -131,6 +134,7 @@ class Study:
         study._retry = self._retry
         study._on_error = self._on_error
         study._resume = self._resume
+        study._observe = self._observe
         study._overlay = dict(self._overlay)
         for key, value in changes.items():
             setattr(study, key, value)
@@ -205,6 +209,55 @@ class Study:
         """Resume a previous run from its cache-side manifest,
         re-executing only failed-or-missing points (needs a cache)."""
         return self._clone(_resume=bool(resume))
+
+    def observe(
+        self,
+        obs: "bool | ObsSession" = True,
+        *,
+        trace=None,
+        progress: bool = False,
+        report=None,
+    ) -> "Study":
+        """Attach run-wide observability (see :mod:`repro.obs`).
+
+        ``obs`` is ``True`` (collect run metrics), ``False`` (back to
+        off — the default), or a ready
+        :class:`~repro.obs.session.ObsSession` to share across runs
+        (its counters accumulate).  ``trace`` writes a Chrome-trace
+        JSON of the execution to the given path (``True`` collects it
+        in memory on the session instead); ``progress`` renders a live
+        ``N/total`` line on stderr; ``report`` writes the run-report
+        JSON to an explicit path (one also lands next to
+        ``manifest.json`` whenever the study has a cache directory).
+        The report is attached to the returned result set as
+        :meth:`ResultSet.metrics <repro.api.result.ResultSet.metrics>`.
+        Observability never changes results, cache files, or the
+        manifest — it only adds the report/trace artifacts.
+        """
+        if isinstance(obs, ObsSession):
+            if trace is not None or progress or report is not None:
+                raise ValueError(
+                    "pass either a ready ObsSession or trace/progress/"
+                    "report settings, not both"
+                )
+            return self._clone(_observe=obs)
+        if not obs:
+            if trace is not None or progress or report is not None:
+                raise ValueError(
+                    "observe(False) turns observability off; drop the "
+                    "trace/progress/report settings"
+                )
+            return self._clone(_observe=None)
+        spec: dict = {}
+        if trace is not None:
+            spec["trace"] = (
+                trace if isinstance(trace, bool) else os.fspath(trace)
+            )
+        if progress:
+            spec["progress"] = True
+        if report is not None:
+            spec["report"] = os.fspath(report)
+        return self._clone(_observe=spec)
 
     def where(self, **fields) -> "Study":
         """Overlay scenario fields onto every point (applied at run time).
@@ -290,7 +343,24 @@ class Study:
             "retry": None if self._retry is None else self._retry.to_dict(),
             "on_error": self._on_error,
             "resume": self._resume,
+            "observe": self._describe_observe(),
         }
+
+    def _describe_observe(self) -> dict | None:
+        """The observe spec as JSON (a live session describes its shape)."""
+        observe = self._observe
+        if not isinstance(observe, ObsSession):
+            return observe
+        spec: dict = {}
+        if observe.trace_path:
+            spec["trace"] = observe.trace_path
+        elif observe.tracer is not None:
+            spec["trace"] = True
+        if observe.progress is not None:
+            spec["progress"] = True
+        if observe.report_path:
+            spec["report"] = observe.report_path
+        return spec
 
     @classmethod
     def from_spec(cls, spec: dict) -> "Study":
@@ -307,7 +377,7 @@ class Study:
         known = {
             "grids", "scenarios", "objective", "backend", "workers",
             "cache_dir", "evaluator_max_entries", "cluster", "vectorize",
-            "retry", "on_error", "resume",
+            "retry", "on_error", "resume", "observe",
         }
         unknown = sorted(set(spec) - known)
         if unknown:
@@ -339,6 +409,16 @@ class Study:
                 severity=cluster.get("severity"),
                 seed=cluster.get("seed", 0),
             )
+        observe = spec.get("observe")
+        if isinstance(observe, dict):
+            study = study.observe(
+                True,
+                trace=observe.get("trace"),
+                progress=bool(observe.get("progress", False)),
+                report=observe.get("report"),
+            )
+        elif observe:
+            study = study.observe(True)
         return study
 
     def __repr__(self) -> str:
@@ -356,6 +436,19 @@ class Study:
         )
 
     # -- execution -------------------------------------------------------------
+    def _build_obs(self) -> "ObsSession | None":
+        """A fresh session from the observe spec (or the shared one)."""
+        observe = self._observe
+        if observe is None:
+            return None
+        if isinstance(observe, ObsSession):
+            return observe
+        return ObsSession(
+            trace=observe.get("trace") or False,
+            progress=bool(observe.get("progress", False)),
+            report_path=observe.get("report"),
+        )
+
     def runner(self) -> SweepRunner:
         """The configured :class:`~repro.sweep.runner.SweepRunner` this
         study executes on (exposed for introspection and reuse)."""
@@ -369,8 +462,16 @@ class Study:
             retry=self._retry,
             on_error=self._on_error,
             resume=self._resume,
+            obs=self._build_obs(),
         )
 
     def run(self) -> ResultSet:
-        """Evaluate every scenario; results come back in scenario order."""
-        return ResultSet(self.runner().run(self.scenarios()))
+        """Evaluate every scenario; results come back in scenario order.
+
+        An observed study (:meth:`observe`) attaches its run report to
+        the result set — read it back via :meth:`ResultSet.metrics
+        <repro.api.result.ResultSet.metrics>`."""
+        runner = self.runner()
+        results = runner.run(self.scenarios())
+        metrics = runner.obs.report() if runner.obs is not None else None
+        return ResultSet(results, metrics=metrics)

@@ -1,0 +1,160 @@
+"""Counters, gauges and histograms with deterministic JSON snapshots.
+
+The registry is intentionally small: metric identity is a dotted string
+name, values are numbers, and a snapshot is a plain dict with sorted
+keys — diffable across runs and schema-checkable in CI.  Counter and
+histogram *counts* are deterministic for a deterministic workload
+(same scenarios -> same increments, whatever the backend interleaving);
+histogram *sums* of wall-clock observations are not, which is why
+snapshots keep them in separate, clearly-named fields.
+
+Thread safety: one registry lock serializes updates.  Metrics are
+touched per scenario / per attempt — orders of magnitude rarer than the
+evaluator's own memo operations — so a single lock is cheaper than
+per-metric machinery and keeps torn histogram updates impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+class Counter:
+    """Monotonic integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar (e.g. run wall time, grid size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | int | None = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max of observed values (no buckets —
+    the distributions of interest here are summarized, not plotted)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and one JSON snapshot.
+
+    A name belongs to exactly one metric kind; asking for the same name
+    as a different kind raises (silent aliasing would corrupt both).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, table: dict) -> None:
+        for kind, existing in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if existing is not table and name in existing:
+                raise ValueError(f"metric {name!r} already exists as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_free(name, self._counters)
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_free(name, self._gauges)
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_free(name, self._histograms)
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    # Convenience single-call forms (the session's handler uses these).
+    def inc(self, name: str, n: int = 1) -> None:
+        counter = self.counter(name)
+        with self._lock:
+            counter.inc(n)
+
+    def set_gauge(self, name: str, value) -> None:
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value)
+
+    def snapshot(self) -> dict:
+        """Deterministically-ordered plain-dict image of every metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name].value
+                    for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].summary()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def to_json(self, *, indent: int | None = 1) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -29,7 +29,11 @@ batched twins; :func:`batch_map` is what the sweep runner and the
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Sequence
+
+from repro.obs.bus import active as _obs_active
+from repro.obs.bus import emit as _obs_emit
 
 from repro.comm.cost import (
     NCCL_LATENCY,
@@ -61,20 +65,31 @@ from repro.sweep.runner import (
 )
 
 
-def _scalar_group_fallback(evaluate, scenarios, group, out) -> None:
+def _scalar_group_fallback(evaluate, scenarios, group, out, objective) -> None:
     """Re-price one template group through the memoized scalar evaluator.
 
     The graceful-degradation path: when a group's batched pass raises
     (a pricing bug, a numpy edge case), its scenarios fall back to the
     serial evaluator one by one instead of sinking the whole grid — and
     an organic per-scenario failure then surfaces from the scenario that
-    owns it, exactly as the serial loop would raise it.  The cache-stats
-    entry is stripped to keep the batched-path contract (no per-scenario
-    attribution).
+    owns it, exactly as the serial loop would raise it.  The evaluator's
+    per-scenario memo delta is kept and tagged with the group's
+    ``batch_group`` entry (``fallback: True``), so
+    :meth:`~repro.api.result.ResultSet.cache_stats` can attribute the
+    rows; the runner never persists ``batch_group``-tagged stats to the
+    disk cache, keeping cache files byte-identical.
     """
+    group_stats = {
+        "objective": objective,
+        "size": len(group["idx"]),
+        "fallback": True,
+    }
     for i in group["idx"]:
         values = evaluate(scenarios[i])
-        values.pop(CACHE_STATS_KEY, None)
+        delta = values.pop(CACHE_STATS_KEY, None)
+        stats = dict(delta) if isinstance(delta, dict) else {}
+        stats["batch_group"] = group_stats
+        values[CACHE_STATS_KEY] = stats
         out[i] = values
 
 #: Distinct recorded schedules tried per template group before the
@@ -215,6 +230,7 @@ def batched_makespans(
     dag: CompiledDag,
     works_matrix,
     max_schedules: int = MAX_SCHEDULES_PER_GROUP,
+    stats: dict | None = None,
 ):
     """Makespan of every row of ``works_matrix`` under one engine.
 
@@ -223,6 +239,9 @@ def batched_makespans(
     representative, up to ``max_schedules`` recordings, after which the
     stragglers run the scalar compiled path.  Every row's result is
     bit-for-bit ``engine.compiled_makespan(dag, works_matrix[s])``.
+
+    ``stats``, when given, accumulates the number of schedules recorded
+    under ``"schedules"`` (observability accounting; values unchanged).
     """
     import numpy as np
 
@@ -245,20 +264,23 @@ def batched_makespans(
             continue
         out[remaining[valid]] = spans[valid]
         remaining = remaining[~valid]
+    if stats is not None:
+        stats["schedules"] = stats.get("schedules", 0) + schedules
     return out
 
 
-def _group_makespans(ctx, dag, W):
+def _group_makespans(ctx, dag, W, stats: dict | None = None):
     """Worst-profile makespans: the hetero ``max()`` as elementwise maximum."""
     import numpy as np
 
     profiles = ctx.sim_profiles
     if not profiles:
-        return batched_makespans(ctx.engine, dag, W)
-    spans = batched_makespans(ctx.engine_for(profiles[0]), dag, W)
+        return batched_makespans(ctx.engine, dag, W, stats=stats)
+    spans = batched_makespans(ctx.engine_for(profiles[0]), dag, W, stats=stats)
     for profile in profiles[1:]:
         spans = np.maximum(
-            spans, batched_makespans(ctx.engine_for(profile), dag, W)
+            spans,
+            batched_makespans(ctx.engine_for(profile), dag, W, stats=stats),
         )
     return spans
 
@@ -314,15 +336,43 @@ def batch_evaluate_timeline(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
+        observing = _obs_active()
+        if observing:
+            group_ts = time.time()
+            group_p0 = time.perf_counter()
         try:
-            _price_timeline_group(np, group, out)
-        except Exception:
-            _scalar_group_fallback(evaluate_timeline, scenarios, group, out)
+            stats = _price_timeline_group(np, group, out)
+        except Exception as exc:
+            if observing:
+                _obs_emit(
+                    "batch.fallback",
+                    objective="timeline",
+                    size=len(group["idx"]),
+                    error=type(exc).__name__,
+                    ts=time.time(),
+                )
+            _scalar_group_fallback(
+                evaluate_timeline, scenarios, group, out, "timeline"
+            )
+        else:
+            if observing:
+                _obs_emit(
+                    "batch.group",
+                    objective="timeline",
+                    size=stats["size"],
+                    distinct=stats.get("distinct", 0),
+                    schedules=stats.get("schedules", 0),
+                    ts=group_ts,
+                    dur=time.perf_counter() - group_p0,
+                )
     return out
 
 
-def _price_timeline_group(np, group: dict, out: list) -> None:
-    """One (cluster, spec, template) group in a single numpy pass."""
+def _price_timeline_group(np, group: dict, out: list) -> dict:
+    """One (cluster, spec, template) group in a single numpy pass.
+
+    Returns the group's ``batch_group`` stats dict (also attached to
+    every row's cache-stats entry)."""
     sc = group["scenario"]
     spec = group["spec"]
     ctx = shared_context(sc.world_size, scenario_hetero(sc))
@@ -357,9 +407,19 @@ def _price_timeline_group(np, group: dict, out: list) -> None:
     W = compiled.template.works_matrix(
         {f: columns[f][first] for f in names}, len(first)
     )
-    spans = _group_makespans(ctx, compiled.dag, W)[inverse].tolist()
+    group_stats = {
+        "objective": "timeline",
+        "size": len(group["idx"]),
+        "distinct": int(len(first)),
+    }
+    spans = _group_makespans(ctx, compiled.dag, W, stats=group_stats)
+    spans = spans[inverse].tolist()
     strategy = sc.strategy or "none"
     n = sc.n
+    # One shared stats blob for the whole group: rows only ever read it
+    # (the runner pops it into SweepResult.cache_stats), and a per-row
+    # dict here is measurable on 10k-point grids.
+    stats_blob = {"batch_group": group_stats}
     for j, i in enumerate(group["idx"]):
         value = spans[j]
         out[i] = {
@@ -367,7 +427,9 @@ def _price_timeline_group(np, group: dict, out: list) -> None:
             "iteration_time": value,
             "n": n,
             "strategy": strategy,
+            CACHE_STATS_KEY: stats_blob,
         }
+    return group_stats
 
 
 # -- the analytic Eq. 10 selection, batched -----------------------------------
@@ -449,15 +511,41 @@ def batch_evaluate_eq10(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
+        observing = _obs_active()
+        if observing:
+            group_ts = time.time()
+            group_p0 = time.perf_counter()
         try:
-            _price_eq10_group(np, group, out)
-        except Exception:
-            _scalar_group_fallback(evaluate_eq10, scenarios, group, out)
+            stats = _price_eq10_group(np, group, out)
+        except Exception as exc:
+            if observing:
+                _obs_emit(
+                    "batch.fallback",
+                    objective="eq10",
+                    size=len(group["idx"]),
+                    error=type(exc).__name__,
+                    ts=time.time(),
+                )
+            _scalar_group_fallback(evaluate_eq10, scenarios, group, out, "eq10")
+        else:
+            if observing:
+                _obs_emit(
+                    "batch.group",
+                    objective="eq10",
+                    size=stats["size"],
+                    distinct=stats.get("distinct", 0),
+                    schedules=stats.get("schedules", 0),
+                    ts=group_ts,
+                    dur=time.perf_counter() - group_p0,
+                )
     return out
 
 
-def _price_eq10_group(np, group: dict, out: list) -> None:
-    """One (cluster, spec, n) Eq. 10 group in a single numpy pass."""
+def _price_eq10_group(np, group: dict, out: list) -> dict:
+    """One (cluster, spec, n) Eq. 10 group in a single numpy pass.
+
+    Returns the group's ``batch_group`` stats dict (also attached to
+    every row's cache-stats entry)."""
     sc = group["scenario"]
     spec = group["spec"]
     n = sc.n
@@ -519,6 +607,8 @@ def _price_eq10_group(np, group: dict, out: list) -> None:
         best_idx = np.where(take, pos, best_idx)
         best_cost = np.where(take, cost, best_cost)
 
+    group_stats = {"objective": "eq10", "size": size}
+    stats_blob = {"batch_group": group_stats}  # shared, read-only downstream
     for j, i in enumerate(group["idx"]):
         if best_idx[j] < 0:
             # The scalar path raises MemoryError before its costs
@@ -531,6 +621,7 @@ def _price_eq10_group(np, group: dict, out: list) -> None:
                 "costs": {},
                 "n": n,
                 "feasible": False,
+                CACHE_STATS_KEY: stats_blob,
             }
         else:
             point_costs = {name: float(costs[name][j]) for name in costs}
@@ -543,7 +634,9 @@ def _price_eq10_group(np, group: dict, out: list) -> None:
                 "costs": point_costs,
                 "n": n,
                 "feasible": True,
+                CACHE_STATS_KEY: stats_blob,
             }
+    return group_stats
 
 
 # -- the evaluator registry ---------------------------------------------------
@@ -555,8 +648,10 @@ def register_batch_evaluator(evaluate: Callable, batch_evaluate: Callable):
     """Register ``batch_evaluate`` as the whole-grid twin of ``evaluate``.
 
     The twin takes a list of scenarios and returns their values dicts in
-    order, each equal to ``evaluate(scenario)`` (minus the per-scenario
-    cache-stats entry, which a batched pass cannot honestly attribute).
+    order, each equal to ``evaluate(scenario)`` — except the cache-stats
+    entry, which a batched pass cannot attribute per scenario and so
+    replaces with its *group* accounting (a ``batch_group`` dict:
+    objective, group size, distinct work vectors, schedules recorded).
     """
     _BATCH_EVALUATORS[evaluate] = batch_evaluate
     return batch_evaluate

@@ -42,6 +42,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable
 
+# stdlib-only event bus (see repro.obs.bus): importable here without
+# cycles, and a no-op unless a subscriber/collector is active.
+from repro.obs.bus import active as _obs_active
+from repro.obs.bus import emit as _obs_emit
+from repro.obs.bus import label_of as _label_of
+
 #: Reserved values-dict key carrying the attempt count out of the retry
 #: loop (popped by the runner into :attr:`SweepResult.attempts`).
 ATTEMPTS_KEY = "_sweep_attempts"
@@ -301,16 +307,30 @@ def run_with_policy(
     attempts = 0
     for attempt in range(1, policy.max_attempts + 1):
         attempts = attempt
+        observing = _obs_active()
         if attempt > 1:
             delay = policy.delay(attempt - 1, key)
+            if observing:
+                retry_ts = time.time()
             if delay > 0:
                 _sleep(delay)
+            if observing:
+                _obs_emit(
+                    "scenario.retry",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ts=retry_ts,
+                    dur=delay,
+                )
 
         def once() -> dict:
             if plan is not None:
                 plan.maybe_inject(scenario)
             return evaluate(scenario)
 
+        if observing:
+            attempt_ts = time.time()
+            attempt_p0 = time.perf_counter()
         try:
             values = call_with_timeout(
                 once, timeout=policy.timeout, scenario=scenario
@@ -319,11 +339,41 @@ def run_with_policy(
             raise
         except Exception as exc:
             last = _classify(exc, scenario, attempt)
+            if observing:
+                _obs_emit(
+                    "scenario.attempt",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ok=False,
+                    error=type(last).__name__,
+                    cause=type(last.cause).__name__
+                    if last.cause is not None
+                    else None,
+                    ts=attempt_ts,
+                    dur=time.perf_counter() - attempt_p0,
+                )
         else:
+            if observing:
+                _obs_emit(
+                    "scenario.attempt",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ok=True,
+                    ts=attempt_ts,
+                    dur=time.perf_counter() - attempt_p0,
+                )
             values[ATTEMPTS_KEY] = attempt
             return values
     if on_error == "raise":
         raise last
+    if _obs_active():
+        _obs_emit(
+            "scenario.failed",
+            label=_label_of(scenario),
+            error=type(last).__name__,
+            attempts=attempts,
+            ts=time.time(),
+        )
     return {ERROR_KEY: error_payload(last), ATTEMPTS_KEY: attempts}
 
 
@@ -349,16 +399,30 @@ async def run_with_policy_async(
     attempts = 0
     for attempt in range(1, policy.max_attempts + 1):
         attempts = attempt
+        observing = _obs_active()
         if attempt > 1:
             delay = policy.delay(attempt - 1, key)
+            if observing:
+                retry_ts = time.time()
             if delay > 0:
                 await asyncio.sleep(delay)
+            if observing:
+                _obs_emit(
+                    "scenario.retry",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ts=retry_ts,
+                    dur=delay,
+                )
 
         async def once() -> dict:
             if plan is not None:
                 plan.maybe_inject(scenario)
             return await evaluate(scenario)
 
+        if observing:
+            attempt_ts = time.time()
+            attempt_p0 = time.perf_counter()
         try:
             if policy.timeout is None:
                 values = await once()
@@ -368,15 +432,56 @@ async def run_with_policy_async(
             last = SweepTimeoutError(
                 scenario=scenario, timeout=policy.timeout, attempts=attempt
             )
+            if observing:
+                _obs_emit(
+                    "scenario.attempt",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ok=False,
+                    error="SweepTimeoutError",
+                    cause=None,
+                    ts=attempt_ts,
+                    dur=time.perf_counter() - attempt_p0,
+                )
         except asyncio.CancelledError:
             raise
         except Exception as exc:
             last = _classify(exc, scenario, attempt)
+            if observing:
+                _obs_emit(
+                    "scenario.attempt",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ok=False,
+                    error=type(last).__name__,
+                    cause=type(last.cause).__name__
+                    if last.cause is not None
+                    else None,
+                    ts=attempt_ts,
+                    dur=time.perf_counter() - attempt_p0,
+                )
         else:
+            if observing:
+                _obs_emit(
+                    "scenario.attempt",
+                    label=_label_of(scenario),
+                    attempt=attempt,
+                    ok=True,
+                    ts=attempt_ts,
+                    dur=time.perf_counter() - attempt_p0,
+                )
             values[ATTEMPTS_KEY] = attempt
             return values
     if on_error == "raise":
         raise last
+    if _obs_active():
+        _obs_emit(
+            "scenario.failed",
+            label=_label_of(scenario),
+            error=type(last).__name__,
+            attempts=attempts,
+            ts=time.time(),
+        )
     return {ERROR_KEY: error_payload(last), ATTEMPTS_KEY: attempts}
 
 

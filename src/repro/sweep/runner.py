@@ -45,12 +45,18 @@ import json
 import os
 import tempfile
 import threading
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.api.backends import Backend, SerialBackend, VectorizedBackend, get_backend
+from repro.obs.bus import active as _obs_active
+from repro.obs.bus import emit as _obs_emit
+from repro.obs.bus import label_of as _label_of
+from repro.obs.bus import pop_collector, push_collector
+from repro.obs.session import ObsSession
 from repro.sweep.resilience import (
     ATTEMPTS_KEY,
     ERROR_KEY,
@@ -84,6 +90,14 @@ Evaluator = Callable[[Scenario], dict]
 #: physical values stay deterministic across worker layouts while cache
 #: efficacy stays visible per study.
 CACHE_STATS_KEY = "_evaluator_cache"
+
+#: Key under which an observed evaluation attaches its event sidecar
+#: (``{"pid": ..., "events": [(name, fields), ...]}``).  The fold loop
+#: pops it out of ``values`` before anything else; sidecars recorded in
+#: another process (pool workers have no live subscribers) are replayed
+#: onto the parent's bus, same-process ones were already delivered live.
+#: Never cached, never surfaced in results.
+OBS_KEY = "_sweep_obs"
 
 #: Process-wide context pool, keyed by (world size, hetero spec).
 #: Worker processes each grow their own copy (the pool is never
@@ -174,6 +188,87 @@ async def _resilient_acall(
     return await run_with_policy_async(
         evaluate, scenario, policy, on_error=on_error
     )
+
+
+def _observed_call(evaluate: Callable, run_t0: float, scenario: "Scenario"):
+    """One observed evaluation: a ``scenario.span`` plus the event
+    sidecar attached under :data:`OBS_KEY`.
+
+    Module-level (applied via :func:`functools.partial`) so process
+    backends can pickle it.  It does *not* gate on the bus being active:
+    the wrapper is only installed when the runner holds an
+    :class:`~repro.obs.session.ObsSession`, and inside a fresh pool
+    worker nothing is subscribed yet — pushing the collector is exactly
+    what makes the inner layers' emissions observable there.  The
+    un-wrapped evaluator (obs off) stays byte-identical to before.
+    """
+    events: list = []
+    token = push_collector(events)
+    start_ts = time.time()
+    p0 = time.perf_counter()
+    try:
+        values = evaluate(scenario)
+    except BaseException as exc:
+        _obs_emit(
+            "scenario.span",
+            label=_label_of(scenario),
+            ok=False,
+            attempts=1,
+            error=type(exc).__name__,
+            ts=start_ts,
+            dur=time.perf_counter() - p0,
+            queue_s=start_ts - run_t0,
+        )
+        pop_collector(token)
+        raise
+    _obs_emit(
+        "scenario.span",
+        label=_label_of(scenario),
+        ok=ERROR_KEY not in values,
+        attempts=values.get(ATTEMPTS_KEY, 1),
+        ts=start_ts,
+        dur=time.perf_counter() - p0,
+        queue_s=start_ts - run_t0,
+    )
+    pop_collector(token)
+    values[OBS_KEY] = {"pid": os.getpid(), "events": events}
+    return values
+
+
+async def _observed_acall(evaluate: Callable, run_t0: float, scenario: "Scenario"):
+    """Async twin of :func:`_observed_call` (collector rides the task's
+    contextvar context, so concurrent scenarios never mix sidecars)."""
+    events: list = []
+    token = push_collector(events)
+    start_ts = time.time()
+    p0 = time.perf_counter()
+    try:
+        values = await evaluate(scenario)
+    except BaseException as exc:
+        _obs_emit(
+            "scenario.span",
+            label=_label_of(scenario),
+            ok=False,
+            attempts=1,
+            error=type(exc).__name__,
+            ts=start_ts,
+            dur=time.perf_counter() - p0,
+            queue_s=start_ts - run_t0,
+        )
+        pop_collector(token)
+        raise
+    _obs_emit(
+        "scenario.span",
+        label=_label_of(scenario),
+        ok=ERROR_KEY not in values,
+        attempts=values.get(ATTEMPTS_KEY, 1),
+        ts=start_ts,
+        dur=time.perf_counter() - p0,
+        queue_s=start_ts - run_t0,
+    )
+    pop_collector(token)
+    values[OBS_KEY] = {"pid": os.getpid(), "events": events}
+    return values
 
 
 def shared_context(
@@ -482,9 +577,11 @@ class SweepRunner:
     miss count; ``False`` (or ``REPRO_SWEEP_VECTORIZE=0`` in the
     environment) keeps the per-scenario memoized path, which
     trace-needing objectives such as :func:`evaluate_system` always
-    use.  Vectorized results carry no per-scenario cache stats
-    (``cache_stats=None``) — there is no per-scenario evaluator work to
-    attribute.
+    use.  Vectorized results carry *group-level* cache stats — a
+    ``batch_group`` dict (objective, group size, distinct vectors,
+    schedules) shared by every row the group priced — instead of the
+    per-scenario memo deltas a batched pass cannot honestly attribute;
+    these group stats are never persisted into the cache files.
 
     Fault tolerance rides three knobs.  ``retry`` is a
     :class:`~repro.sweep.resilience.RetryPolicy` (or an int, shorthand
@@ -513,9 +610,14 @@ class SweepRunner:
         retry: "RetryPolicy | int | None" = None,
         on_error: str = "raise",
         resume: bool = False,
+        obs: "ObsSession | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if obs is not None and not isinstance(obs, ObsSession):
+            raise TypeError(
+                f"obs must be an ObsSession or None, got {type(obs).__name__}"
+            )
         self._backend = get_backend(backend)  # rejects unknown backend names
         if evaluator_max_entries is not None and evaluator_max_entries < 1:
             raise ValueError("evaluator_max_entries must be >= 1 (or None)")
@@ -541,6 +643,11 @@ class SweepRunner:
         self.retry = retry
         self.on_error = on_error
         self.resume = resume
+        #: The run's observability session, or None (the default — in
+        #: which case the runner adds zero overhead beyond one boolean
+        #: check per instrumented site and produces byte-identical
+        #: results, cache files, and manifest).
+        self.obs = obs
         #: Cache entries quarantined (renamed ``*.json.corrupt``) so far.
         self.quarantined = 0
         self._salt = f"{evaluate.__module__}.{evaluate.__qualname__}"
@@ -568,6 +675,8 @@ class SweepRunner:
         except OSError:
             return  # a concurrent sweep already moved or replaced it
         self.quarantined += 1
+        if _obs_active():
+            _obs_emit("cache.quarantine", path=path.name, ts=time.time())
 
     def _cache_load(
         self, scenario: Scenario
@@ -634,8 +743,31 @@ class SweepRunner:
 
     # -- running ---------------------------------------------------------------
     def run(self, scenarios: ScenarioGrid | Iterable[Scenario]) -> list[SweepResult]:
-        """Evaluate all scenarios; results come back in scenario order."""
-        return self._run(scenarios)
+        """Evaluate all scenarios; results come back in scenario order.
+
+        With an :class:`~repro.obs.session.ObsSession` attached, the run
+        is bracketed by ``run.start``/``run.end`` events, every layer's
+        emissions fold into the session's metrics/trace/progress, and a
+        run report lands next to ``manifest.json`` when there is a cache
+        directory.  The physical results are identical either way.
+        """
+        points = list(scenarios)
+        obs = self.obs
+        if obs is None:
+            return self._run(points)
+        obs.run_begin(
+            total=len(points), backend=self.backend, workers=self.workers
+        )
+        summary = None
+        try:
+            results = self._run(points)
+            summary = {
+                "cached": sum(r.cached for r in results),
+                "failures": sum(not r.ok for r in results),
+            }
+            return results
+        finally:
+            obs.run_end(summary, cache_dir=self.cache_dir)
 
     def _bound_evaluate(self) -> Callable:
         """The evaluator, carrying this runner's memo bound if it has one.
@@ -663,6 +795,11 @@ class SweepRunner:
             policy = self.retry if self.retry is not None else RetryPolicy()
             wrapper = _resilient_acall if is_async else _resilient_call
             fn = functools.partial(wrapper, fn, policy, self.on_error)
+        if self.obs is not None:
+            # Outermost, so the span covers retries and backoff sleeps
+            # and the collector is in place before any inner layer emits.
+            wrapper = _observed_acall if is_async else _observed_call
+            fn = functools.partial(wrapper, fn, self.obs.run_t0)
         return fn
 
     def _use_batch_path(self, misses: list[Scenario]) -> bool:
@@ -742,6 +879,16 @@ class SweepRunner:
             crash = WorkerCrashError(
                 scenario=misses[i], pending=pending_scenarios, cause=exc
             )
+            if _obs_active():
+                # The worker died before its span could be recorded;
+                # surface the kept row as a failure instant instead.
+                _obs_emit(
+                    "scenario.failed",
+                    label=_label_of(misses[i]),
+                    error="WorkerCrashError",
+                    attempts=1,
+                    ts=time.time(),
+                )
             computed.append(
                 {ERROR_KEY: error_payload(crash), ATTEMPTS_KEY: 1}
             )
@@ -791,6 +938,15 @@ class SweepRunner:
                 misses.append(sc)
                 miss_slots.append(slot)
 
+        observing = _obs_active()
+        if observing:
+            _obs_emit(
+                "cache.resolved",
+                hits=sum(cached),
+                misses=len(misses),
+                quarantined=sum(quarantined),
+            )
+
         # The run manifest exists only when it can matter — a resilient
         # or resuming run with a cache to anchor it.  Plain runs keep
         # the exact disk layout they have always had (cache files only).
@@ -827,10 +983,26 @@ class SweepRunner:
                     computed = self._salvage_crash(exc, misses)
                 else:
                     raise
+            evaluator_totals = {
+                "hits": 0, "misses": 0, "evictions": 0, "uninstrumented": 0,
+            }
             for sc, slot, vals in zip(misses, miss_slots, computed):
+                if observing:
+                    blob = vals.pop(OBS_KEY, None)
+                    if self.obs is not None and blob is not None:
+                        self.obs.fold(blob)
                 sc_stats = vals.pop(CACHE_STATS_KEY, None)
                 sc_attempts = vals.pop(ATTEMPTS_KEY, 1)
                 error = vals.pop(ERROR_KEY, None)
+                if observing:
+                    if sc_stats is None or "hits" not in sc_stats:
+                        evaluator_totals["uninstrumented"] += 1
+                    else:
+                        evaluator_totals["hits"] += sc_stats.get("hits", 0)
+                        evaluator_totals["misses"] += sc_stats.get("misses", 0)
+                        evaluator_totals["evictions"] += sc_stats.get(
+                            "evictions", 0
+                        )
                 if prior is not None:
                     # A resumed point's attempt count is cumulative
                     # across runs — the proof that resume re-executed
@@ -840,8 +1012,14 @@ class SweepRunner:
                 if error is None:
                     values[slot] = vals
                     if caching:
+                        # Group-level batch stats never reach the cache
+                        # files — entries stay byte-identical to what
+                        # the memoized/vectorized paths always wrote.
+                        store_stats = sc_stats
+                        if store_stats is not None and "batch_group" in store_stats:
+                            store_stats = None
                         self._cache_store(
-                            sc, vals, sc_stats, attempts=sc_attempts
+                            sc, vals, store_stats, attempts=sc_attempts
                         )
                     if manifest is not None:
                         manifest.record(keys[slot], "ok", sc_attempts)
@@ -859,6 +1037,8 @@ class SweepRunner:
                     sc_stats = dict(sc_stats or {})
                     sc_stats["quarantined"] = 1
                 stats[slot] = sc_stats
+            if observing:
+                _obs_emit("run.evaluator", **evaluator_totals)
 
         if manifest is not None:
             manifest.write()

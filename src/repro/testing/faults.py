@@ -33,6 +33,12 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+# stdlib-only event bus (see repro.obs.bus): a no-op unless a
+# subscriber/collector is active, so byte-identity holds with obs off.
+from repro.obs.bus import active as _obs_active
+from repro.obs.bus import emit as _obs_emit
+from repro.obs.bus import label_of as _label_of
+
 #: Environment variable naming a JSON-serialized plan; worker processes
 #: (which do not share the parent's module state) activate it from here.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -162,6 +168,13 @@ class FaultPlan:
             seen = self._bump(f"{index}:{scenario.key()}")
             if fault.attempts_below is not None and seen >= fault.attempts_below:
                 continue
+            if _obs_active():
+                _obs_emit(
+                    "fault.injected",
+                    kind=fault.kind,
+                    label=_label_of(scenario),
+                    attempt=seen,
+                )
             if fault.kind == "fail":
                 raise FaultInjected(fault.message)
             if fault.kind == "hang":

@@ -244,3 +244,85 @@ def test_resume_flag_picks_up_a_failed_run(tmp_path, monkeypatch):
     ]) == 0
     payload = json.loads(out.read_text())
     assert all(p.get("ok", True) for p in payload)
+
+
+# -- observability flags -------------------------------------------------------
+def test_failures_print_to_stderr_even_when_quiet(
+    tmp_path, monkeypatch, capsys
+):
+    _install_smoke_fault(
+        tmp_path, monkeypatch, kind="fail",
+        match={"batch": 1024, "n": 1, "strategy": "S1"},
+    )
+    code = main(["sweep", "--smoke", "--quiet", "--keep-going", "--json", "-"])
+    assert code == 3
+    captured = capsys.readouterr()
+    err = captured.err
+    assert "FAILED" in err and "ScenarioError" in err
+    assert "1 of" in err and "failed" in err
+    json.loads(captured.out)  # stdout stays pure JSON for pipelines
+
+
+def test_metrics_flag_writes_the_run_report(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    baseline = tmp_path / "plain.json"
+    observed = tmp_path / "observed.json"
+    assert main(["sweep", "--smoke", "--quiet", "--json", str(baseline)]) == 0
+    assert main([
+        "sweep", "--smoke", "--quiet", "--json", str(observed),
+        "--metrics", str(report_path),
+    ]) == 0
+    # Observability never changes the result artifact.
+    assert observed.read_text() == baseline.read_text()
+    report = json.loads(report_path.read_text())
+    assert report["version"] == 1
+    assert report["run"]["points"] == len(Study.from_spec(SMOKE_SPEC))
+    counters = report["metrics"]["counters"]
+    assert counters["sweep.scenarios.computed"] == report["run"]["points"]
+
+
+def test_metrics_flag_without_path_prints_to_stderr(capsys):
+    assert main(["sweep", "--smoke", "--quiet", "--metrics"]) == 0
+    err = capsys.readouterr().err
+    report = json.loads(err[err.index("{"):])
+    assert report["version"] == 1
+
+
+def test_trace_flag_writes_chrome_trace_json(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "sweep", "--smoke", "--quiet", "--trace", str(trace_path),
+    ]) == 0
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert any(e.get("cat") == "scenario" for e in events)
+    assert all(e["ts"] >= 0 for e in events if e["ph"] != "M")
+
+
+def test_progress_flag_renders_on_stderr(capsys):
+    assert main(["sweep", "--smoke", "--quiet", "--progress"]) == 0
+    total = len(Study.from_spec(SMOKE_SPEC))
+    assert f"{total}/{total}" in capsys.readouterr().err
+
+
+def test_faulty_run_with_metrics_and_trace(tmp_path, monkeypatch, capsys):
+    """The acceptance scenario: a fault-injected smoke run with
+    --metrics --trace shows the retries in the counters and yields a
+    loadable Chrome trace with the backoff spans."""
+    _install_smoke_fault(
+        tmp_path, monkeypatch, kind="fail", attempts_below=3,
+        match={"batch": 1024, "n": 1, "strategy": "S1"},
+    )
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "sweep", "--smoke", "--quiet", "--retries", "2",
+        "--metrics", "--trace", str(trace_path),
+    ]) == 0
+    err = capsys.readouterr().err
+    report = json.loads(err[err.index("{"):])
+    counters = report["metrics"]["counters"]
+    assert counters["sweep.retries"] == 2
+    assert counters["sweep.faults_injected"] == 2
+    assert counters["sweep.attempts.failed"] == 2
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert sum(e.get("cat") == "backoff" for e in events) == 2
+    assert sum(e.get("cat") == "fault" for e in events) == 2

@@ -57,6 +57,9 @@ def assert_identical(evaluate, batch_evaluate, scenarios) -> None:
     scalar = scalar_values(evaluate, scenarios)
     assert len(batched) == len(scalar)
     for sc, b, s in zip(scenarios, batched, scalar):
+        b = dict(b)
+        stats = b.pop(CACHE_STATS_KEY)
+        assert "batch_group" in stats  # group-level attribution, not memo deltas
         assert bits(b) == bits(s), f"diverged at {sc.label()}"
 
 
@@ -129,6 +132,7 @@ class TestEq10Identity:
         for sc, b, s in zip(scenarios, batched, scalar):
             b = dict(b)
             s = dict(s)
+            assert "batch_group" in b.pop(CACHE_STATS_KEY)
             assert bits(b.pop("costs")) == bits(s.pop("costs"))
             assert bits(b) == bits(s), f"diverged at {sc.label()}"
 
@@ -225,8 +229,8 @@ class TestRouting:
     def test_auto_engages_on_large_serial_grids(self):
         scenarios = grid(batches=tuple(range(4096, 4096 + VECTORIZE_MIN_POINTS)))
         results = SweepRunner(evaluate_timeline).run(scenarios)
-        # The batched pass computes no per-scenario evaluator-cache delta.
-        assert all(r.cache_stats is None for r in results)
+        # The batched pass reports group-level stats, not memo deltas.
+        assert all("batch_group" in r.cache_stats for r in results)
 
     def test_auto_stays_memoized_below_the_threshold(self):
         results = SweepRunner(evaluate_timeline).run(grid())
@@ -234,7 +238,7 @@ class TestRouting:
 
     def test_vectorize_true_forces_small_grids(self):
         results = SweepRunner(evaluate_timeline, vectorize=True).run(grid())
-        assert all(r.cache_stats is None for r in results)
+        assert all("batch_group" in r.cache_stats for r in results)
 
     def test_vectorize_false_pins_the_memoized_path(self):
         scenarios = grid(batches=tuple(range(4096, 4096 + VECTORIZE_MIN_POINTS)))
@@ -251,7 +255,7 @@ class TestRouting:
         results = SweepRunner(
             evaluate_timeline, backend="vectorized", vectorize=False
         ).run(grid())
-        assert all(r.cache_stats is None for r in results)
+        assert all("batch_group" in r.cache_stats for r in results)
 
     def test_objective_without_twin_uses_the_backend(self):
         from repro.sweep import evaluate_system
@@ -267,7 +271,7 @@ class TestRouting:
         study = Study(grid(), objective="timeline").vectorize()
         assert study.describe()["vectorize"] is True
         results = study.run()
-        assert all(r.cache_stats is None for r in results)
+        assert all("batch_group" in r.cache_stats for r in results)
         spec = study.describe()
         assert Study.from_spec(spec).describe()["vectorize"] is True
 

@@ -482,4 +482,9 @@ class TestBatchedFallback:
             raise RuntimeError("batched pricing bug")
 
         monkeypatch.setattr(batcheval, "_price_timeline_group", boom)
-        assert batcheval.batch_evaluate_timeline(list(GRID)) == baseline
+        out = batcheval.batch_evaluate_timeline(list(GRID))
+        stats = [values.pop("_evaluator_cache") for values in out]
+        assert out == baseline
+        # The degraded rows stay attributable: each keeps its scalar memo
+        # delta plus the group's fallback marker.
+        assert all(s["batch_group"]["fallback"] is True for s in stats)
