@@ -24,7 +24,9 @@ The pieces:
   ``.to_json()``.
 * :mod:`repro.api.backends` — the execution-backend registry
   (``serial`` / ``thread`` / ``process`` / ``asyncio`` /
-  ``vectorized``), third-party extensible via :func:`register_backend`.
+  ``vectorized`` / ``remote``), third-party extensible via
+  :func:`register_backend` / :func:`unregister_backend` /
+  :func:`temporary_backend`.
 * ``python -m repro`` — the CLI over all of it (:mod:`repro.api.cli`).
 
 Grid construction (:class:`Scenario`, :class:`ScenarioGrid`,
@@ -44,6 +46,8 @@ from repro.api.backends import (
     available_backends,
     get_backend,
     register_backend,
+    temporary_backend,
+    unregister_backend,
 )
 
 __all__ = [
@@ -55,8 +59,14 @@ __all__ = [
     "AsyncioBackend",
     "VectorizedBackend",
     "register_backend",
+    "unregister_backend",
+    "temporary_backend",
     "get_backend",
     "available_backends",
+    # distributed execution (lazy; see repro.distrib)
+    "RemoteBackend",
+    "StudyServer",
+    "CacheStore",
     # facade (lazy)
     "Study",
     "OBJECTIVES",
@@ -82,6 +92,9 @@ __all__ = [
 #: sweep/systems stack (repro.sweep.runner imports the backend registry
 #: from here — eager imports would cycle).
 _LAZY = {
+    "RemoteBackend": ("repro.distrib.backend", "RemoteBackend"),
+    "StudyServer": ("repro.distrib.server", "StudyServer"),
+    "CacheStore": ("repro.distrib.store", "CacheStore"),
     "Study": ("repro.api.study", "Study"),
     "OBJECTIVES": ("repro.api.study", "OBJECTIVES"),
     "StudyResult": ("repro.api.result", "StudyResult"),

@@ -1,7 +1,7 @@
 """Pluggable execution backends for studies and sweeps.
 
 A :class:`Backend` turns an evaluator function and a list of work items
-into a list of results, preserving item order.  Five implementations
+into a list of results, preserving item order.  Six implementations
 ship registered under well-known names:
 
 * ``serial`` — in-process loop; the reference semantics.
@@ -19,10 +19,15 @@ ship registered under well-known names:
   twin registered in :mod:`repro.perfmodel.batcheval` price every item
   in one numpy pass (bit-identical values, no per-item Python); others
   degrade to the serial loop.
+* ``remote`` — :class:`repro.distrib.backend.RemoteBackend` (loaded
+  lazily): shards the grid across ``python -m repro serve`` worker
+  hosts, streams results back, and reshards a dead host's unfinished
+  work onto the survivors.
 
 Third-party backends plug in through :func:`register_backend` (usable
-as a decorator) and are then selectable by name everywhere a backend is
-accepted — ``Study.backend("mybackend")``, ``SweepRunner(backend=...)``,
+as a decorator, undone by :func:`unregister_backend` or scoped with
+:func:`temporary_backend`) and are then selectable by name everywhere a
+backend is accepted — ``Study.backend("mybackend")``, ``SweepRunner(backend=...)``,
 and the ``python -m repro`` CLI.  Every call site also accepts a
 :class:`Backend` *instance* directly, so configured backends need no
 registration at all.
@@ -46,6 +51,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import contextlib
 import inspect
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -310,6 +316,47 @@ def register_backend(
     return factory
 
 
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend factory.
+
+    The cleanup half of :func:`register_backend`, so tests (and plugins
+    being unloaded) do not leak throwaway backends into the registry for
+    the rest of the process.  Unknown names raise — silently "removing"
+    a backend that was never there usually means a typo upstream.
+    """
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"backend {name!r} is not registered; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    del _REGISTRY[name]
+
+
+@contextlib.contextmanager
+def temporary_backend(
+    name: str, factory: Callable[[], Backend], *, overwrite: bool = False
+):
+    """Register a backend for the duration of a ``with`` block.
+
+    On exit the registry is restored exactly: a fresh name is removed,
+    and a name taken over with ``overwrite=True`` gets its previous
+    factory back.  This is the leak-proof way for tests and short-lived
+    tools to plug in throwaway backends::
+
+        with temporary_backend("instrumented", MyBackend):
+            Study(grid).backend("instrumented").run()
+    """
+    previous = _REGISTRY.get(name)
+    register_backend(name, factory, overwrite=overwrite)
+    try:
+        yield factory
+    finally:
+        if previous is None:
+            _REGISTRY.pop(name, None)
+        else:
+            _REGISTRY[name] = previous
+
+
 def available_backends() -> tuple[str, ...]:
     """Registered backend names, sorted."""
     return tuple(sorted(_REGISTRY))
@@ -339,8 +386,17 @@ def get_backend(spec: "str | Backend") -> Backend:
     )
 
 
+def _remote_backend() -> Backend:
+    # Imported lazily: repro.distrib sits on top of the whole evaluation
+    # stack, and this module must stay repro-import-free at import time.
+    from repro.distrib.backend import RemoteBackend
+
+    return RemoteBackend()
+
+
 register_backend("serial", SerialBackend)
 register_backend("thread", ThreadBackend)
 register_backend("process", ProcessBackend)
 register_backend("asyncio", AsyncioBackend)
 register_backend("vectorized", VectorizedBackend)
+register_backend("remote", _remote_backend)

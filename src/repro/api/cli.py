@@ -1,7 +1,7 @@
 """``python -m repro`` — drive studies from the command line.
 
-Three subcommands, all running through the :class:`~repro.api.Study`
-facade:
+Four subcommands; the first three all run through the
+:class:`~repro.api.Study` facade:
 
 * ``repro sweep`` — build a :class:`~repro.sweep.grid.ScenarioGrid`
   from axis flags, run it, print the table, optionally persist JSON.
@@ -11,6 +11,10 @@ facade:
 * ``repro study`` — run a declarative JSON study spec
   (:meth:`Study.from_spec`); ``--json -`` streams the ResultSet to
   stdout.
+* ``repro serve`` — long-lived study worker for the ``remote``
+  backend: accepts scenario shards over TCP, prices them on a local
+  pool, and (with ``--cache-dir``) answers repeats from a shared
+  federated cache store (:mod:`repro.distrib`).
 
 Every command exits non-zero on bad input with the eager validation
 errors of the underlying API (unknown axes, backends, objectives).
@@ -114,6 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             f"default serial)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker count (default 1)")
+        p.add_argument("--endpoints", default=None, metavar="HOST:PORT,...",
+                       help="comma-separated `repro serve` endpoints; "
+                            "implies the remote backend (overrides "
+                            "--backend)")
         p.add_argument("--cache-dir", default=None,
                        help="cache completed scenarios as JSON under this dir")
         p.add_argument("--json", metavar="PATH", default=None,
@@ -179,6 +187,30 @@ def _build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run a declarative JSON study spec")
     study.add_argument("spec", help="path to the study spec JSON file")
     add_run_flags(study)
+
+    serve = sub.add_parser(
+        "serve", help="run a study worker for the remote backend"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = OS-assigned; the "
+                            "resolved port is printed on stdout)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="local evaluation threads (default 2)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="serve a federated cache store from this dir "
+                            "(content-addressed, shared across clients)")
+    serve.add_argument("--max-entries", type=int, default=None,
+                       help="LRU-evict the store past this many entries")
+    serve.add_argument("--max-bytes", type=int, default=None,
+                       help="LRU-evict the store past this many bytes")
+    serve.add_argument("--heartbeat", type=float, default=None,
+                       metavar="SECONDS",
+                       help="idle heartbeat interval (default 1.0)")
+    serve.add_argument("--tag", default=None,
+                       help="worker name exported to fault plans "
+                            "(REPRO_WORKER_TAG)")
 
     return parser
 
@@ -246,6 +278,17 @@ def _apply_run_flags(study: Study, args) -> Study:
     spec file's choices)."""
     if args.backend is not None:
         study = study.backend(args.backend)
+    if args.endpoints is not None:
+        # An explicit worker fleet implies the remote backend; a
+        # configured instance (not the zero-arg registry factory) so the
+        # flag wins over both --backend and REPRO_REMOTE_WORKERS.
+        from repro.distrib.backend import RemoteBackend
+
+        study = study.backend(
+            RemoteBackend(
+                [e for e in args.endpoints.split(",") if e.strip()]
+            )
+        )
     if args.workers is not None:
         study = study.workers(args.workers)
     if args.cache_dir is not None:
@@ -328,6 +371,23 @@ def _cmd_study(args) -> int:
     return _finish(study, args, f"repro study {path.name}")
 
 
+def _cmd_serve(args) -> int:
+    from repro.distrib.server import HEARTBEAT_INTERVAL, serve
+
+    return serve(
+        args.host,
+        args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        heartbeat_interval=(
+            args.heartbeat if args.heartbeat is not None else HEARTBEAT_INTERVAL
+        ),
+        tag=args.tag,
+    )
+
+
 def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -335,6 +395,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "study": _cmd_study,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

@@ -277,10 +277,20 @@ class ResultSet(Sequence):
         cache hit written before stats existed) — so ``reported +
         vectorized + uninstrumented == scenarios`` always holds and a
         dashboard can tell "nothing measured" from "nothing to measure".
+
+        ``federated`` counts scenarios answered by a remote worker's
+        shared cache store (``backend="remote"`` against a ``repro
+        serve`` fleet) — a third hit class beside the local evaluator
+        memo and this run's disk cache.  Federated rows count toward
+        ``reported`` (preserving the invariant above), but any memo
+        delta stored with the entry belongs to the run that originally
+        computed it and is *not* summed into this run's
+        ``evaluator_hits`` / ``evaluator_misses``.
         """
         stats = {
             "scenarios": len(self._results),
             "disk_hits": sum(r.cached for r in self._results),
+            "federated": 0,
             "evaluator_hits": 0,
             "evaluator_misses": 0,
             "reported": 0,
@@ -297,6 +307,11 @@ class ResultSet(Sequence):
             if "batch_group" in delta and "hits" not in delta:
                 # Whole-grid rows: group accounting only, no memo delta.
                 stats["vectorized"] += 1
+                stats["quarantined"] += delta.get("quarantined", 0)
+                continue
+            if "federated" in delta:
+                stats["federated"] += 1
+                stats["reported"] += 1
                 stats["quarantined"] += delta.get("quarantined", 0)
                 continue
             stats["reported"] += 1

@@ -36,7 +36,15 @@ epoch-seconds + ``dur`` seconds):
   ``misses``, ``quarantined``).
 * ``cache.quarantine`` — one cache entry moved to ``*.corrupt``.
 * ``run.evaluator`` — run-wide evaluator-memo totals (``hits``,
-  ``misses``, ``evictions``, ``uninstrumented``).
+  ``misses``, ``evictions``, ``uninstrumented``, plus ``federated``
+  on remote runs answered partly by a worker's shared store).
+* ``remote.shard`` — one remote-backend shard dispatch (``endpoint``,
+  ``items``, ``completed``, ``ok``, ``round``).
+* ``remote.host_down`` — a remote worker died or went silent
+  (``endpoint``, ``pending``, ``error``).
+* ``remote.store`` — merged federated cache-store counters from the
+  workers' ``done`` frames (``hits``, ``misses``, ``puts``,
+  ``evictions``, ``skews``).
 * ``batch.group`` / ``batch.fallback`` — vectorized template groups
   (``size``, ``distinct``, ``schedules`` / ``error``).
 * ``fault.injected`` — a scripted :mod:`repro.testing.faults` fault

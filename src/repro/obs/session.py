@@ -42,6 +42,15 @@ metric                                source
 ``batch.distinct_vectors``            post-dedup work vectors priced
 ``batch.schedules``                   schedules recorded for replay
 ``batch.fallbacks``                   groups degraded to the scalar loop
+``sweep.cache.federated_hits``        scenarios answered by a remote
+                                      worker's shared store
+                                      (``run.evaluator`` ``federated``)
+``sweep.remote.shards`` /             remote-backend shard dispatches and
+``.shard_failures``                   ones lost to a dead/hung host
+``sweep.remote.host_failures``        ``remote.host_down`` events
+``sweep.store.hits`` / ``.misses`` /  federated cache-store counters merged
+``.puts`` / ``.evictions`` /          from the workers' ``done`` frames
+``.skews``                            (``remote.store``)
 ``run.points`` / ``run.wall_s``       gauges set at run begin/end
 ====================================  =======================================
 """
@@ -401,6 +410,48 @@ class ObsSession:
                 "sweep.evaluator.uninstrumented",
                 fields.get("uninstrumented", 0),
             )
+            federated = fields.get("federated", 0)
+            if federated:
+                # Guarded: local runs never carry the field, so their
+                # run reports keep the exact counter set they had.
+                reg.inc("sweep.cache.federated_hits", federated)
+        elif event == "remote.shard":
+            reg.inc("sweep.remote.shards")
+            if not fields.get("ok", True):
+                reg.inc("sweep.remote.shard_failures")
+            if tracer is not None:
+                tracer.span(
+                    f"remote shard @ {fields.get('endpoint', '?')} "
+                    f"({fields.get('items', '?')} items)",
+                    fields.get("ts", 0.0),
+                    fields.get("dur", 0.0),
+                    cat="remote",
+                    pid=fields.get("pid"),
+                    tid=fields.get("tid"),
+                    args={
+                        "ok": fields.get("ok", True),
+                        "completed": fields.get("completed"),
+                        "round": fields.get("round"),
+                    },
+                )
+        elif event == "remote.host_down":
+            reg.inc("sweep.remote.host_failures")
+            if tracer is not None:
+                tracer.instant(
+                    f"host down: {fields.get('endpoint', '?')} "
+                    f"({fields.get('pending', '?')} rescued)",
+                    fields.get("ts", 0.0),
+                    cat="remote",
+                    pid=fields.get("pid"),
+                    tid=fields.get("tid"),
+                    args={"error": fields.get("error")},
+                )
+        elif event == "remote.store":
+            reg.inc("sweep.store.hits", fields.get("hits", 0))
+            reg.inc("sweep.store.misses", fields.get("misses", 0))
+            reg.inc("sweep.store.puts", fields.get("puts", 0))
+            reg.inc("sweep.store.evictions", fields.get("evictions", 0))
+            reg.inc("sweep.store.skews", fields.get("skews", 0))
         elif event == "batch.group":
             size = fields.get("size", 0)
             reg.inc("batch.groups")

@@ -985,6 +985,7 @@ class SweepRunner:
                     raise
             evaluator_totals = {
                 "hits": 0, "misses": 0, "evictions": 0, "uninstrumented": 0,
+                "federated": 0,
             }
             for sc, slot, vals in zip(misses, miss_slots, computed):
                 if observing:
@@ -995,7 +996,12 @@ class SweepRunner:
                 sc_attempts = vals.pop(ATTEMPTS_KEY, 1)
                 error = vals.pop(ERROR_KEY, None)
                 if observing:
-                    if sc_stats is None or "hits" not in sc_stats:
+                    if sc_stats is not None and "federated" in sc_stats:
+                        # Answered by a remote worker's federated store:
+                        # any memo delta riding along belongs to the run
+                        # that originally computed it, not this one.
+                        evaluator_totals["federated"] += 1
+                    elif sc_stats is None or "hits" not in sc_stats:
                         evaluator_totals["uninstrumented"] += 1
                     else:
                         evaluator_totals["hits"] += sc_stats.get("hits", 0)
@@ -1018,6 +1024,15 @@ class SweepRunner:
                         store_stats = sc_stats
                         if store_stats is not None and "batch_group" in store_stats:
                             store_stats = None
+                        elif store_stats is not None and "federated" in store_stats:
+                            # The federated-hit marker is per-run
+                            # accounting; the local cache entry must stay
+                            # byte-identical to one a serial run writes.
+                            store_stats = {
+                                k: v
+                                for k, v in store_stats.items()
+                                if k != "federated"
+                            } or None
                         self._cache_store(
                             sc, vals, store_stats, attempts=sc_attempts
                         )
@@ -1038,6 +1053,10 @@ class SweepRunner:
                     sc_stats["quarantined"] = 1
                 stats[slot] = sc_stats
             if observing:
+                if not evaluator_totals["federated"]:
+                    # Only remote runs with store hits carry the field,
+                    # so local runs' event streams stay exactly as before.
+                    evaluator_totals.pop("federated")
                 _obs_emit("run.evaluator", **evaluator_totals)
 
         if manifest is not None:

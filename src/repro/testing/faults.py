@@ -43,6 +43,13 @@ from repro.obs.bus import label_of as _label_of
 #: (which do not share the parent's module state) activate it from here.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
+#: Environment variable naming the executing worker (set by
+#: ``python -m repro serve --tag`` and :class:`repro.distrib.server
+#: .StudyServer`).  A :class:`Fault` with a ``worker`` field fires only
+#: in processes whose tag matches — the handle for "kill worker A but
+#: let worker B recover the shard" tests against a multi-host fleet.
+WORKER_TAG_ENV = "REPRO_WORKER_TAG"
+
 FAULT_KINDS = ("fail", "hang", "kill")
 
 
@@ -64,7 +71,13 @@ class Fault:
     ``seconds`` then lets the evaluation proceed (pair with a policy
     timeout to model a hung objective); ``"kill"`` SIGKILLs the current
     process — inside a process-pool worker, the mid-shard worker death
-    the backend must absorb.
+    the backend must absorb; inside a ``repro serve`` process, the
+    dead *host* the remote backend must reshard around.
+
+    ``worker`` scopes the fault to one named worker: it fires (and
+    counts attempts) only in processes whose :data:`WORKER_TAG_ENV`
+    matches, so a kill aimed at server ``"a"`` cannot re-fire when the
+    survivor ``"b"`` recovers the same scenario.
     """
 
     kind: str
@@ -72,6 +85,7 @@ class Fault:
     attempts_below: int | None = None
     message: str = "injected fault"
     seconds: float = 0.0
+    worker: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -84,6 +98,9 @@ class Fault:
             raise ValueError("seconds must be >= 0")
 
     def matches(self, scenario) -> bool:
+        if self.worker is not None:
+            if os.environ.get(WORKER_TAG_ENV) != self.worker:
+                return False
         sentinel = object()
         return all(
             getattr(scenario, name, sentinel) == value

@@ -21,6 +21,8 @@ from repro.api.backends import (
     available_backends,
     get_backend,
     register_backend,
+    temporary_backend,
+    unregister_backend,
 )
 from repro.sweep import Scenario, ScenarioGrid, shared_context
 from repro.sweep.runner import scenario_hetero
@@ -117,6 +119,32 @@ class TestRegistry:
             assert isinstance(get_backend("decorated-test"), DecoratedBackend)
         finally:
             mod._REGISTRY.pop("decorated-test", None)
+
+    def test_unregister_backend(self):
+        register_backend("ephemeral-test", SerialBackend)
+        assert "ephemeral-test" in available_backends()
+        unregister_backend("ephemeral-test")
+        assert "ephemeral-test" not in available_backends()
+
+    def test_unregister_unknown_lists_registered(self):
+        with pytest.raises(ValueError, match="not registered"):
+            unregister_backend("never-was")
+
+    def test_temporary_backend_registers_then_removes(self):
+        with temporary_backend("scoped-test", SerialBackend):
+            assert "scoped-test" in available_backends()
+        assert "scoped-test" not in available_backends()
+
+    def test_temporary_backend_restores_the_shadowed_factory(self):
+        with temporary_backend("serial", ThreadBackend, overwrite=True):
+            assert isinstance(get_backend("serial"), ThreadBackend)
+        assert isinstance(get_backend("serial"), SerialBackend)
+
+    def test_temporary_backend_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with temporary_backend("scoped-test", SerialBackend):
+                raise RuntimeError("boom")
+        assert "scoped-test" not in available_backends()
 
 
 class TestBackendMap:

@@ -1,0 +1,178 @@
+"""The distributed-sweep wire protocol: framing, EOF, and the handshake."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.distrib.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    HandshakeRejected,
+    ProtocolError,
+    client_handshake,
+    expect_frame,
+    recv_frame,
+    send_frame,
+    server_handshake,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        payload = {"type": "submit", "scenarios": [{"batch": 1024}], "n": None}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+
+    def test_multiple_frames_in_sequence(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"type": "result", "i": i})
+        assert [recv_frame(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_torn_header_raises(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a length prefix, then EOF
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_torn_body_raises(self, pair):
+        a, b = pair
+        body = json.dumps({"type": "result"}).encode()
+        a.sendall(struct.pack(">I", len(body)) + body[:3])
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+    def test_missing_body_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 10))  # header only, then EOF
+        a.close()
+        with pytest.raises(ProtocolError, match="between header and body"):
+            recv_frame(b)
+
+    def test_oversize_length_prefix_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame(b)
+
+    def test_oversize_send_refused(self, pair, monkeypatch):
+        from repro.distrib import protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        a, _b = pair
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            send_frame(a, {"type": "x" * 64})
+
+    def test_non_json_body_rejected(self, pair):
+        a, b = pair
+        body = b"not json at all"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            recv_frame(b)
+
+    @pytest.mark.parametrize("body", [b"[1, 2]", b'"text"', b'{"i": 3}'])
+    def test_body_must_be_typed_object(self, pair, body):
+        a, b = pair
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="'type' field"):
+            recv_frame(b)
+
+
+class TestExpectFrame:
+    def test_matching_type_passes_through(self, pair):
+        a, b = pair
+        send_frame(a, {"type": "done", "count": 3})
+        assert expect_frame(b, "result", "done")["count"] == 3
+
+    def test_unexpected_type_raises(self, pair):
+        a, b = pair
+        send_frame(a, {"type": "heartbeat"})
+        with pytest.raises(ProtocolError, match="expected a welcome"):
+            expect_frame(b, "welcome")
+
+    def test_eof_while_expecting_raises(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ProtocolError, match="closed while waiting"):
+            expect_frame(b, "welcome")
+
+
+def _serve_handshake(sock, cache_version):
+    """Run server_handshake on a thread; returns its verdict."""
+    verdict = {}
+
+    def run():
+        verdict["accepted"] = server_handshake(sock, cache_version=cache_version)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return verdict, thread
+
+
+class TestHandshake:
+    def test_accept_echoes_versions(self, pair):
+        a, b = pair
+        verdict, thread = _serve_handshake(b, cache_version=1)
+        welcome = client_handshake(a, cache_version=1)
+        thread.join()
+        assert verdict["accepted"] is True
+        assert welcome["protocol"] == PROTOCOL_VERSION
+        assert welcome["cache_version"] == 1
+
+    def test_protocol_skew_rejected(self, pair):
+        a, b = pair
+        verdict, thread = _serve_handshake(b, cache_version=1)
+        send_frame(
+            a,
+            {"type": "hello", "protocol": 999, "cache_version": 1},
+        )
+        reject = recv_frame(a)
+        thread.join()
+        assert verdict["accepted"] is False
+        assert reject["type"] == "reject"
+        assert "protocol version skew" in reject["reason"]
+
+    def test_cache_version_skew_rejected(self, pair):
+        a, b = pair
+        verdict, thread = _serve_handshake(b, cache_version=2)
+        with pytest.raises(HandshakeRejected, match="cache-store version skew"):
+            client_handshake(a, cache_version=1)
+        thread.join()
+        assert verdict["accepted"] is False
+
+    def test_non_hello_first_frame_rejected(self, pair):
+        a, b = pair
+        verdict, thread = _serve_handshake(b, cache_version=1)
+        send_frame(a, {"type": "submit"})
+        reject = recv_frame(a)
+        thread.join()
+        assert verdict["accepted"] is False
+        assert "expected a hello frame" in reject["reason"]
+
+    def test_silent_probe_closes_quietly(self, pair):
+        a, b = pair
+        verdict, thread = _serve_handshake(b, cache_version=1)
+        a.close()  # a port scan: connect, say nothing, vanish
+        thread.join()
+        assert verdict["accepted"] is False
