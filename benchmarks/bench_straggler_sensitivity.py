@@ -20,6 +20,16 @@ Two measurements:
    evaluator memo; the reported cache stats come from the per-scenario
    deltas the runner now persists.
 
+3. **Placement recovery** — the headline for the skew-aware placement
+   optimizer: at the gate point (B=24576, 0.5x single-slow-gpu, 4x-hot
+   gating) the contiguous shard map puts the hot expert on the slow
+   rank and eats the full straggler regression; ``placement="optimized"``
+   re-routes the heat onto healthy metal.  Gated: the optimized
+   placement must recover at least half of the straggler regression
+   (measured fraction is typically 1.0 — the bottleneck returns to the
+   healthy hot-rank price because the slow rank only hosts cold
+   experts).  Appends to ``benchmarks/results/BENCH_placement.json``.
+
 Results append to ``benchmarks/results/BENCH_straggler.json``.
 
 Run:  PYTHONPATH=src python benchmarks/bench_straggler_sensitivity.py [--smoke]
@@ -41,6 +51,7 @@ from repro.systems.base import SystemContext
 from repro.utils import Table
 
 RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_straggler.json"
+PLACEMENT_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_placement.json"
 
 WORLD = 64
 SPEC = "GPT-XL"
@@ -48,6 +59,13 @@ SPEC = "GPT-XL"
 #: selected granularity at this batch (healthy n=8 -> straggler n=4).
 GATE_BATCH = 24576
 GATE_SEVERITY = 0.5
+#: Hot-expert load ratio at the placement gate point: skew is what makes
+#: placement matter (uniform routing prices identically everywhere).
+PLACEMENT_IMBALANCE = 4.0
+#: The optimized placement must claw back at least this fraction of the
+#: straggler regression, (T_straggler - T_optimized) / (T_straggler -
+#: T_healthy).
+PLACEMENT_MIN_RECOVERY = 0.5
 
 SEVERITIES = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4)
 BATCHES = (8192, 16384, 24576, 32768)
@@ -190,6 +208,111 @@ def hetero_grid_sweep(args) -> dict:
     }
 
 
+def placement_recovery(args) -> tuple[dict, bool]:
+    """The optimized-placement headline: recover the straggler regression.
+
+    Three points at the gate geometry (GPT-XL x 64 GPUs, B=24576, 4x-hot
+    gating): healthy cluster, 0.5x single-slow-gpu under the contiguous
+    default (hot expert on the slow rank — worst case), and the same
+    straggler with ``placement="optimized"``.  Every point goes through
+    the public sweep evaluator, so the optimizer lowering, the per-rank
+    pricing, and the traffic-aware selector are all on the measured path.
+    """
+    from repro.sweep.grid import Scenario
+    from repro.sweep.runner import evaluate_system, scenario_workload
+
+    base = dict(
+        system="mpipemoe", spec=SPEC, world_size=WORLD,
+        batch=GATE_BATCH, imbalance=PLACEMENT_IMBALANCE,
+    )
+    straggler = dict(straggler="single-slow-gpu", severity=GATE_SEVERITY)
+    healthy = evaluate_system(Scenario(**base))
+    degraded = evaluate_system(Scenario(**base, **straggler))
+    optimized_sc = Scenario(**base, **straggler, placement="optimized")
+    optimized = evaluate_system(optimized_sc)
+
+    t_h = healthy["iteration_time"]
+    t_d = degraded["iteration_time"]
+    t_o = optimized["iteration_time"]
+    regression = t_d - t_h
+    recovery = (t_d - t_o) / regression if regression > 0 else 0.0
+
+    table = Table(
+        ["cluster", "placement", "n", "strategy", "time (ms)"],
+        title=f"Placement recovery, {SPEC} x {WORLD} GPUs, "
+              f"B={GATE_BATCH}, {PLACEMENT_IMBALANCE:g}x-hot gating",
+    )
+    table.add_row(["healthy", "contiguous", healthy["n"],
+                   healthy["strategy"], t_h * 1e3])
+    table.add_row([f"{GATE_SEVERITY}x slow GPU", "contiguous",
+                   degraded["n"], degraded["strategy"], t_d * 1e3])
+    table.add_row([f"{GATE_SEVERITY}x slow GPU", "optimized",
+                   optimized["n"], optimized["strategy"], t_o * 1e3])
+    print(table)
+
+    ok = True
+    if regression <= 0:
+        print(
+            f"FAIL: the {GATE_SEVERITY}x straggler caused no regression "
+            f"to recover (healthy {t_h * 1e3:.3f}ms, straggler "
+            f"{t_d * 1e3:.3f}ms)", file=sys.stderr,
+        )
+        ok = False
+    elif recovery < PLACEMENT_MIN_RECOVERY:
+        print(
+            f"FAIL: optimized placement recovered only {recovery:.1%} of "
+            f"the straggler regression (gate: >= "
+            f"{PLACEMENT_MIN_RECOVERY:.0%})", file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"optimized placement recovered {recovery:.1%} of the "
+            f"{regression * 1e3:.3f}ms straggler regression "
+            f"(gate: >= {PLACEMENT_MIN_RECOVERY:.0%})"
+        )
+    assignment = scenario_workload(optimized_sc).placement.assignment
+    payload = {
+        "spec": SPEC,
+        "world_size": WORLD,
+        "batch": GATE_BATCH,
+        "severity": GATE_SEVERITY,
+        "imbalance": PLACEMENT_IMBALANCE,
+        "healthy_time": t_h,
+        "straggler_time": t_d,
+        "optimized_time": t_o,
+        "regression": regression,
+        "recovery": recovery,
+        "min_recovery": PLACEMENT_MIN_RECOVERY,
+        "passed": ok,
+        "hot_expert_rank": assignment[0],
+        "slow_rank_experts": sum(1 for r in assignment if r == 0),
+    }
+    return payload, ok
+
+
+def emit_placement_json(mode: str, payload: dict) -> None:
+    """Append the placement-gate record to its own trajectory file."""
+    PLACEMENT_JSON.parent.mkdir(exist_ok=True)
+    record = {
+        "benchmark": "bench_straggler_sensitivity/placement",
+        "mode": mode,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **payload,
+    }
+    history: list = []
+    if PLACEMENT_JSON.is_file():
+        try:
+            previous = json.loads(PLACEMENT_JSON.read_text())
+            if isinstance(previous, list):
+                history = previous
+        except (OSError, json.JSONDecodeError):
+            pass  # unreadable trajectory: restart it rather than crash
+    history.append(record)
+    PLACEMENT_JSON.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    print(f"appended run {len(history)} to {PLACEMENT_JSON}")
+
+
 def emit_json(mode: str, severity_payload: dict, grid_payload: dict) -> None:
     """Append this run's record to the trajectory file (a JSON array)."""
     RESULTS_JSON.parent.mkdir(exist_ok=True)
@@ -221,11 +344,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="thread-pool width for the grid sweep")
     args = parser.parse_args(argv)
 
+    mode = "smoke" if args.smoke else "full"
     severity_payload, ok = severity_sweep(args)
     grid_payload = hetero_grid_sweep(args)
-    emit_json("smoke" if args.smoke else "full", severity_payload, grid_payload)
+    placement_payload, placement_ok = placement_recovery(args)
+    emit_json(mode, severity_payload, grid_payload)
+    emit_placement_json(mode, placement_payload)
 
-    if not ok:
+    if not (ok and placement_ok):
         return 1
     print("OK")
     return 0

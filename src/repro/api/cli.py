@@ -31,9 +31,10 @@ from repro.api.backends import available_backends
 from repro.api.study import OBJECTIVES, Study
 from repro.sweep.grid import BACKEND_NAMES, ScenarioGrid
 
-#: The CI smoke grid: tiny, timeline-priced, deterministic.  The extra
-#: pinned scenario exercises the routing-workload path (top-k fan-out
-#: plus skewed gating) end to end through the CLI.
+#: The CI smoke grid: tiny, timeline-priced, deterministic.  The two
+#: pinned scenarios exercise the routing-workload path (top-k fan-out
+#: plus skewed gating) and the expert-placement path (a skewed straggler
+#: point re-placed by the optimizer) end to end through the CLI.
 SMOKE_SPEC = {
     "grids": [
         {
@@ -55,7 +56,19 @@ SMOKE_SPEC = {
             "strategy": "S1",
             "top_k": 2,
             "imbalance": 4.0,
-        }
+        },
+        {
+            "system": "timeline",
+            "spec": "GPT-S",
+            "world_size": 8,
+            "batch": 2048,
+            "n": 2,
+            "strategy": "S1",
+            "imbalance": 4.0,
+            "straggler": "single-slow-gpu",
+            "severity": 0.5,
+            "placement": "optimized",
+        },
     ],
     "objective": "timeline",
     "backend": "serial",
@@ -172,6 +185,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'none' = the timing default (fp16)")
     sweep.add_argument("--imbalances", nargs="+", type=float, default=[1.0],
                        help="hottest-expert load ratios (1.0 = uniform gating)")
+    sweep.add_argument("--placements", nargs="+", default=["none"],
+                       help="expert placement strategies (contiguous/"
+                            "round_robin/shadowed/optimized); 'none' = the "
+                            "implicit contiguous shard map")
     sweep.add_argument("--objective", default="system",
                        choices=sorted(OBJECTIVES))
     sweep.add_argument("--smoke", action="store_true",
@@ -331,6 +348,7 @@ def _cmd_sweep(args) -> int:
             top_ks=tuple(_parse_optional(k, int) for k in args.top_ks),
             dtypes=tuple(_parse_optional(d, str) for d in args.dtypes),
             imbalances=tuple(args.imbalances),
+            placements=tuple(_parse_optional(p, str) for p in args.placements),
         )
         study = Study(grid, objective=args.objective)
         title = f"repro sweep ({len(grid)} scenarios)"

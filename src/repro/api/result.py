@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.sweep.grid import scenario_payload
 from repro.sweep.runner import SweepResult
 from repro.utils import Table
 
@@ -146,7 +146,7 @@ class StudyResult(SweepResult):
 
     def to_dict(self, *, include_cache_stats: bool = False) -> dict:
         payload = {
-            "scenario": asdict(self.scenario),
+            "scenario": scenario_payload(self.scenario),
             "label": self.label,
             "values": dict(self.values),
         }

@@ -40,6 +40,7 @@ from repro.sweep.grid import (
     ScenarioGrid,
     ScenarioList,
     as_scenarios,
+    scenario_payload,
 )
 from repro.sweep.resilience import RetryPolicy
 from repro.sweep.runner import (
@@ -333,7 +334,7 @@ class Study:
             else self._backend.name
         )
         return {
-            "scenarios": [dataclasses.asdict(sc) for sc in self.scenarios()],
+            "scenarios": [scenario_payload(sc) for sc in self.scenarios()],
             "objective": objective,
             "backend": backend,
             "workers": self._workers,

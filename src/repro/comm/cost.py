@@ -54,23 +54,35 @@ class NcclCostModel:
         if self.bandwidth_scale <= 0:
             raise ValueError("bandwidth_scale must be positive")
 
-    def _collective_bandwidth(self, w: int) -> float:
+    def _collective_bandwidth(
+        self, w: int, traffic: tuple[float, ...] | None = None
+    ) -> float:
         """Effective per-GPU collective rate, overrides and derate applied."""
-        bw = self.topology.alltoall_bandwidth(w)
+        if traffic is None:
+            bw = self.topology.alltoall_bandwidth(w)
+        else:
+            bw = self.topology.alltoall_bandwidth(w, traffic=traffic)
         if self.bandwidth_scale != 1.0:
             bw *= self.bandwidth_scale
         return bw
 
-    def collective_bandwidth(self, world_size: int | None = None) -> float:
+    def collective_bandwidth(
+        self,
+        world_size: int | None = None,
+        traffic: tuple[float, ...] | None = None,
+    ) -> float:
         """Public view of the effective collective bandwidth (bytes/s).
 
         Batched evaluation (``repro.perfmodel.batcheval``) prices the
         latency/bandwidth split of :meth:`alltoall_time` and
         :meth:`decomposed_alltoall_time` as array math and needs the
-        same per-GPU rate those methods use internally.
+        same per-GPU rate those methods use internally.  ``traffic`` is
+        the placement-dependent per-rank load view (see
+        :meth:`ClusterTopology.alltoall_bandwidth`).
         """
         return self._collective_bandwidth(
-            self.effective_world if world_size is None else world_size
+            self.effective_world if world_size is None else world_size,
+            traffic=traffic,
         )
 
     @property
@@ -82,15 +94,25 @@ class NcclCostModel:
         )
 
     # -- fused collectives ------------------------------------------------------
-    def alltoall_time(self, bytes_per_rank: float) -> float:
-        """Fused NCCL All-to-All moving ``bytes_per_rank`` out of each GPU."""
+    def alltoall_time(
+        self,
+        bytes_per_rank: float,
+        traffic: tuple[float, ...] | None = None,
+    ) -> float:
+        """Fused NCCL All-to-All moving ``bytes_per_rank`` out of each GPU.
+
+        ``bytes_per_rank`` is the busiest rank's volume; ``traffic``
+        (optional per-rank relative loads) lets a placement-aware caller
+        price degraded links against the traffic they actually carry
+        instead of gating the collective on the slowest member.
+        """
         if bytes_per_rank < 0:
             raise ValueError("bytes_per_rank must be non-negative")
         w = self.effective_world
         if w == 1:
             return 0.0
         cross = bytes_per_rank * (w - 1) / w
-        bw = self._collective_bandwidth(w)
+        bw = self._collective_bandwidth(w, traffic=traffic)
         return NCCL_LATENCY + cross / bw
 
     def allreduce_time(self, nbytes: float) -> float:
@@ -121,7 +143,11 @@ class NcclCostModel:
             bw *= self.bandwidth_scale
         return P2P_LATENCY + nbytes / bw
 
-    def decomposed_alltoall_time(self, bytes_per_rank: float) -> float:
+    def decomposed_alltoall_time(
+        self,
+        bytes_per_rank: float,
+        traffic: tuple[float, ...] | None = None,
+    ) -> float:
         """All-to-All realised as W-1 pairwise exchanges per GPU.
 
         The same cross-node volume as the fused collective moves, but:
@@ -139,5 +165,5 @@ class NcclCostModel:
         if w == 1:
             return 0.0
         cross = bytes_per_rank * (w - 1) / w
-        bw = self._collective_bandwidth(w) / STRAGGLER_FACTOR
+        bw = self._collective_bandwidth(w, traffic=traffic) / STRAGGLER_FACTOR
         return (w - 1) * P2P_LATENCY + cross / bw

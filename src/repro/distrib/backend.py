@@ -48,7 +48,6 @@ import os
 import socket
 import threading
 import time
-from dataclasses import asdict
 from typing import Callable, Sequence
 
 from repro.api.backends import Backend
@@ -62,6 +61,7 @@ from repro.distrib.protocol import (
 from repro.distrib.store import STORE_VERSION, merge_stats
 from repro.obs.bus import active as _obs_active
 from repro.obs.bus import emit as _obs_emit
+from repro.sweep.grid import scenario_payload
 from repro.sweep.resilience import (
     ATTEMPTS_KEY,
     ERROR_KEY,
@@ -366,7 +366,7 @@ class RemoteBackend(Backend):
                     sock,
                     {
                         **submit_base,
-                        "scenarios": [asdict(items[i]) for i in shard],
+                        "scenarios": [scenario_payload(items[i]) for i in shard],
                     },
                 )
                 while True:

@@ -35,7 +35,6 @@ import socket
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import asdict
 
 from repro.distrib.protocol import (
     ProtocolError,
@@ -44,7 +43,7 @@ from repro.distrib.protocol import (
     server_handshake,
 )
 from repro.distrib.store import STORE_VERSION, CacheStore
-from repro.sweep.grid import Scenario
+from repro.sweep.grid import Scenario, scenario_payload
 from repro.sweep.resilience import (
     ATTEMPTS_KEY,
     ERROR_KEY,
@@ -351,7 +350,7 @@ class StudyServer:
                                 "message": str(exc),
                             }
                         )
-                        payload.setdefault("scenario", asdict(scenario))
+                        payload.setdefault("scenario", scenario_payload(scenario))
                         send_frame(sock, {"type": "error", "error": payload})
                         return
                     if not self._send_result(sock, i, scenario, values, salt):
@@ -411,7 +410,7 @@ class StudyServer:
                             f"objective returned non-JSON-serializable "
                             f"values: {exc}"
                         ),
-                        "scenario": asdict(scenario),
+                        "scenario": scenario_payload(scenario),
                     },
                 },
             )

@@ -38,7 +38,6 @@ import json
 import os
 import tempfile
 import threading
-from dataclasses import asdict
 from pathlib import Path
 
 #: Entry-format version, stamped into every file and checked on read
@@ -160,10 +159,12 @@ class CacheStore:
     ) -> Path:
         """Store one computed scenario (write-then-rename), then evict
         down to the configured bounds (never evicting the fresh entry)."""
+        from repro.sweep.grid import scenario_payload
+
         path = self.path_for(scenario, salt)
         payload = {
             "version": STORE_VERSION,
-            "scenario": asdict(scenario),
+            "scenario": scenario_payload(scenario),
             "values": values,
         }
         if stats is not None:

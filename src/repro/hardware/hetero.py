@@ -138,12 +138,17 @@ class DeviceRateTable:
 
 
 #: Named straggler scenarios :class:`StragglerModel` can compile.
+#: The last two are multi-straggler *compositions* — more than one
+#: fault at once, the non-trivial instances the placement optimizer
+#: routes load around.
 STRAGGLER_KINDS = (
     "uniform",
     "single-slow-gpu",
     "slow-node",
     "degraded-link",
     "random-jitter",
+    "two-slow-gpus",
+    "slow-gpu-degraded-link",
 )
 
 
@@ -398,6 +403,29 @@ class StragglerModel:
         if self.kind == "degraded-link":
             self._check_rank(world)
             return ((self.target, DeviceRates(comm=self.severity)),)
+        if self.kind == "two-slow-gpus":
+            # Composition: two thermally-throttled GPUs, maximally far
+            # apart — the target and its antipode — so one slow device
+            # per half of the machine.
+            self._check_rank(world)
+            if world < 2:
+                raise ValueError("two-slow-gpus needs world_size >= 2")
+            other = (self.target + world // 2) % world
+            rates = DeviceRates(comp=self.severity)
+            return ((self.target, rates), (other, rates))
+        if self.kind == "slow-gpu-degraded-link":
+            # Composition: the target's SMs throttle while its
+            # *neighbour's* injection link degrades — compute and comm
+            # faults on different ranks, so no single-victim rescale can
+            # describe the cluster.
+            self._check_rank(world)
+            if world < 2:
+                raise ValueError("slow-gpu-degraded-link needs world_size >= 2")
+            neighbour = (self.target + 1) % world
+            return (
+                (self.target, DeviceRates(comp=self.severity)),
+                (neighbour, DeviceRates(comm=self.severity)),
+            )
         # random-jitter: seeded, rank-indexed, world-size independent for
         # the first min(world, world') ranks of two differently-sized runs.
         rng = random.Random(self.seed)

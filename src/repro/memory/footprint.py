@@ -16,6 +16,7 @@ Eq. 6   phi = (dM_act + dM_buf) / (M_ms + M^pipe_act + M^pipe_buf)
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -136,6 +137,11 @@ class FootprintModel:
     workload: "WorkloadSpec | None" = None
 
     def __post_init__(self) -> None:
+        if self._placed:
+            # An explicit placement defines each rank's expert count
+            # directly — uneven assignments (and E % W != 0) are the
+            # point, not an error.
+            return
         if self.spec.num_experts % self.world_size:
             raise ValueError(
                 f"num_experts {self.spec.num_experts} must divide evenly across "
@@ -143,7 +149,21 @@ class FootprintModel:
             )
 
     @property
+    def _placed(self) -> bool:
+        return self.workload is not None and self.workload.placed
+
+    @property
     def experts_per_rank(self) -> int:
+        """Experts on the fattest rank (the Eq. 1 sizing count).
+
+        Contiguous sharding stores exactly ``E / W`` everywhere; a
+        placement stores whatever its fattest rank hosts (a shadow
+        replica is a full extra parameter copy).
+        """
+        if self._placed:
+            return self.workload.placement.resolve(
+                self.spec.num_experts, self.world_size
+            ).max_experts_per_rank
         return self.spec.num_experts // self.world_size
 
     def model_states_bytes(self) -> int:
@@ -170,7 +190,15 @@ class FootprintModel:
         )
 
     def total_bytes(self, batch: int, pipelined: bool = False, reuse_n: int = 0) -> int:
-        """Peak per-device footprint under a given execution mode."""
+        """Peak per-device footprint under a given execution mode.
+
+        Under a non-default placement this is the worst device's actual
+        footprint (``max(per_device_bytes)``) — pairing the fattest
+        rank's states with the hottest rank's rows would bound a device
+        that does not exist.
+        """
+        if self._placed:
+            return max(self.per_device_bytes(batch, pipelined, reuse_n))
         states = self.model_states_bytes()
         act = self.activations_bytes(batch)
         buf = (
@@ -190,6 +218,49 @@ class FootprintModel:
                 * self.bytes_per_elem
             )
         return states + act + buf - saved
+
+    def per_device_bytes(
+        self, batch: int, pipelined: bool = False, reuse_n: int = 0
+    ) -> tuple[int, ...]:
+        """Eq. 5 footprint of *each* device, against its hosted experts.
+
+        Entry ``r`` sizes rank ``r``'s model states from the experts the
+        placement actually puts there (replicated gate + local experts +
+        any shadow replica) and its dispatch-side activations from that
+        rank's own anchored row count — so "three experts and the hot
+        load" and "one cold expert" stop sharing one bound.  Without a
+        workload every rank is identical and this degenerates to
+        ``total_bytes`` repeated.  This is the vector the placement
+        optimizer checks feasibility against.
+        """
+        if self.workload is None:
+            return (self.total_bytes(batch, pipelined, reuse_n),) * self.world_size
+        if reuse_n >= 2 and not pipelined:
+            raise ValueError("memory reuse requires pipelined execution")
+        load = self.workload.load(self.spec, batch, self.world_size)
+        counts = load.effective_placement().counts()
+        anchored = load.anchored_rank_rows()
+        gate = self.spec.gate_params
+        expert = self.spec.expert_params
+        out = []
+        for count, rank_rows in zip(counts, anchored):
+            states = 4 * (gate + count * expert) * self.bytes_per_elem
+            rows = max(0, math.ceil(rank_rows))
+            act = activations_elems(self.spec, batch, rows) * self.bytes_per_elem
+            buf = (
+                act
+                if pipelined
+                else buffers_elems(self.spec, batch, rows) * self.bytes_per_elem
+            )
+            saved = 0
+            if reuse_n >= 2:
+                saved = (
+                    2
+                    * reuse_savings_elems(self.spec, batch, reuse_n, rows)
+                    * self.bytes_per_elem
+                )
+            out.append(states + act + buf - saved)
+        return tuple(out)
 
     def breakdown(self, batch: int) -> dict[str, int]:
         """Fig. 2 bars: bytes per category in plain expert parallelism."""

@@ -92,6 +92,17 @@ def _scalar_group_fallback(evaluate, scenarios, group, out, objective) -> None:
         values[CACHE_STATS_KEY] = stats
         out[i] = values
 
+def _placed_group(group: dict) -> bool:
+    """Whether this group carries a non-default expert placement.
+
+    ``placement=None`` and the explicit ``"contiguous"`` baseline price
+    through the exact unplaced arithmetic (``WorkloadSpec.placed`` is
+    False for both), so they ride the vectorized pass; the genuinely
+    re-placed strategies take the scalar fallback.
+    """
+    return group["scenario"].placement not in (None, "contiguous")
+
+
 #: Distinct recorded schedules tried per template group before the
 #: stragglers fall back to the scalar compiled path.  Real grids vary
 #: works smoothly with batch, so a handful of schedules usually covers
@@ -321,6 +332,7 @@ def batch_evaluate_timeline(scenarios: Iterable[Scenario]) -> list[dict]:
             sc.strategy or "none",
             sc.decomposed_comm,
             sc.sequential,
+            sc.placement,
         )
         group = groups.get(key)
         if group is None:
@@ -336,6 +348,14 @@ def batch_evaluate_timeline(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
+        if _placed_group(group):
+            # Per-rank placed pricing has no batched mirror (anchored
+            # rank vectors + per-rank engine maxima); the memoized
+            # scalar path owns those rows.
+            _scalar_group_fallback(
+                evaluate_timeline, scenarios, group, out, "timeline"
+            )
+            continue
         observing = _obs_active()
         if observing:
             group_ts = time.time()
@@ -496,7 +516,7 @@ def batch_evaluate_eq10(scenarios: Iterable[Scenario]) -> list[dict]:
         spec = _scenario_spec(sc)
         if workload is not None:
             workload.resolved_k(spec)
-        key = _context_key(sc) + (sc.spec, sc.num_experts, sc.n)
+        key = _context_key(sc) + (sc.spec, sc.num_experts, sc.n, sc.placement)
         group = groups.get(key)
         if group is None:
             group = groups[key] = {
@@ -511,6 +531,10 @@ def batch_evaluate_eq10(scenarios: Iterable[Scenario]) -> list[dict]:
         group["workloads"].append(workload)
 
     for group in groups.values():
+        if _placed_group(group):
+            # Placed Eq. 10 runs the traffic-aware selector per point.
+            _scalar_group_fallback(evaluate_eq10, scenarios, group, out, "eq10")
+            continue
         observing = _obs_active()
         if observing:
             group_ts = time.time()

@@ -18,7 +18,9 @@ mu/eta row of Table II.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.comm.cost import NcclCostModel
 from repro.config import MoELayerSpec
@@ -27,6 +29,9 @@ from repro.hardware.interference import InterferenceModel, PAPER_INTERFERENCE
 from repro.memory.strategies import Strategy
 from repro.perfmodel.workload import WorkloadSpec
 from repro.pipeline.schedule import TIMING_BYTES_PER_ELEM
+
+if TYPE_CHECKING:
+    from repro.hardware.hetero import DeviceRates
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,7 @@ class PerfModel:
         use_paper_q: bool = True,
         workload: WorkloadSpec | None = None,
         world_size: int = 1,
+        rank_rates: "tuple[DeviceRates, ...] | None" = None,
     ) -> None:
         self.spec = spec
         self.rates = rates
@@ -122,6 +128,26 @@ class PerfModel:
         #: matters for the skew dilution (experts per rank).
         self.workload = workload
         self.world_size = world_size
+        #: Per-rank device-rate multipliers (the hetero composition):
+        #: with a placed workload, each rank's own row count is priced
+        #: against that rank's own comp/mem rates and the iteration
+        #: gates on the worst rank — "hot expert on slow device" now
+        #: prices worse than "hot expert on fast device".  Only
+        #: meaningful alongside a non-default placement.
+        if rank_rates is not None:
+            if workload is None or not workload.placed:
+                raise ValueError(
+                    "rank_rates requires a workload with a non-default "
+                    "placement (otherwise there is no per-rank load to "
+                    "join the rates with)"
+                )
+            if len(rank_rates) < world_size:
+                raise ValueError(
+                    f"rank_rates has {len(rank_rates)} entries for "
+                    f"world_size {world_size}"
+                )
+            rank_rates = tuple(rank_rates)
+        self.rank_rates = rank_rates
         if workload is not None:
             bytes_per_elem = workload.resolve_bytes(bytes_per_elem)
         elif bytes_per_elem is None:
@@ -145,12 +171,22 @@ class PerfModel:
     def stage_cost(
         self, q: tuple[float, float, float], b: int, mu: float, eta: float
     ) -> StageCost:
+        return self._stage_cost(self.rates, q, b, mu, eta)
+
+    def _stage_cost(
+        self,
+        rates: HardwareRates,
+        q: tuple[float, float, float],
+        b: int,
+        mu: float,
+        eta: float,
+    ) -> StageCost:
         q1, q2, q3 = q
         sigma = self.interference.sigma
         return StageCost(
-            comp=q1 * self.v_comp(b) / (sigma * self.rates.w_comp),
-            comm=q2 * self.v_comm(b) / (mu * self.rates.w_comm),
-            mem=q3 * self.v_mem(b) / (eta * self.rates.w_mem),
+            comp=q1 * self.v_comp(b) / (sigma * rates.w_comp),
+            comm=q2 * self.v_comm(b) / (mu * rates.w_comm),
+            mem=q3 * self.v_mem(b) / (eta * rates.w_mem),
         )
 
     def strategy_queues(
@@ -166,24 +202,73 @@ class PerfModel:
             return batch
         return self.workload.device_rows(self.spec, batch, self.world_size)
 
+    def _rank_profiles(self, batch: int) -> list[tuple[int, HardwareRates]]:
+        """Distinct (rows, rates) pairs to price for a placed workload.
+
+        One entry per rank hosting experts: the rank's anchored row
+        count joined with its own comp/mem-scaled rates (comm stays at
+        the collective's shared rate — a rank-local comm multiplier
+        already shows up through the topology's link overrides).
+        Expertless ranks run nothing and drop out.
+        """
+        load = self.workload.load(self.spec, batch, self.world_size)
+        profiles: dict[tuple[int, HardwareRates], None] = {}
+        for rank, rank_rows in enumerate(load.anchored_rank_rows()):
+            if rank_rows <= 0:
+                continue
+            rates = self.rates
+            if self.rank_rates is not None:
+                rr = self.rank_rates[rank]
+                rates = rates.scaled(comp=rr.comp, mem=rr.mem)
+            profiles[(max(1, math.ceil(rank_rows)), rates)] = None
+        return [(rows, rates) for rows, rates in profiles]
+
     def iteration_cost(self, strategy: Strategy, batch: int, n: int) -> float:
-        """Modeled fw+bw time of the whole batch at granularity n."""
+        """Modeled fw+bw time of the whole batch at granularity n.
+
+        With a placed workload the (synchronous) iteration gates on the
+        worst rank: each hosting rank's rows are priced against its own
+        rates and the max wins.
+        """
         if batch < 1 or n < 1:
             raise ValueError("batch and n must be >= 1")
-        b = -(-self._device_rows(batch) // n)  # ceil: padded final micro-batch
         mu = self.interference.mu(strategy.uses_mem_stream)
         eta = self.interference.eta(strategy.uses_mem_stream)
         q_fw, q_bw = self.strategy_queues(strategy)
+        if self.workload is not None and self.workload.placed:
+            worst = 0.0
+            for rows, rates in self._rank_profiles(batch):
+                b = -(-rows // n)
+                fw = self._stage_cost(rates, q_fw, b, mu, eta).total
+                bw = self._stage_cost(rates, q_bw, b, mu, eta).total
+                worst = max(worst, fw + bw)
+            return n * worst
+        b = -(-self._device_rows(batch) // n)  # ceil: padded final micro-batch
         fw = self.stage_cost(q_fw, b, mu, eta).total
         bw = self.stage_cost(q_bw, b, mu, eta).total
         return n * (fw + bw)
 
     def breakdown(self, strategy: Strategy, batch: int, n: int) -> dict[str, StageCost]:
-        """Per-phase stream costs, for analysis output."""
-        b = -(-self._device_rows(batch) // n)
+        """Per-phase stream costs, for analysis output.
+
+        For a placed workload: the gating (worst) rank's breakdown.
+        """
         mu = self.interference.mu(strategy.uses_mem_stream)
         eta = self.interference.eta(strategy.uses_mem_stream)
         q_fw, q_bw = self.strategy_queues(strategy)
+        if self.workload is not None and self.workload.placed:
+            best: dict[str, StageCost] | None = None
+            worst = -1.0
+            for rows, rates in self._rank_profiles(batch):
+                b = -(-rows // n)
+                fw = self._stage_cost(rates, q_fw, b, mu, eta)
+                bw = self._stage_cost(rates, q_bw, b, mu, eta)
+                if fw.total + bw.total > worst:
+                    worst = fw.total + bw.total
+                    best = {"forward": fw, "backward": bw}
+            assert best is not None
+            return best
+        b = -(-self._device_rows(batch) // n)
         return {
             "forward": self.stage_cost(q_fw, b, mu, eta),
             "backward": self.stage_cost(q_bw, b, mu, eta),

@@ -21,11 +21,13 @@ the cache-correctness tests compare it to.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.config import MoELayerSpec
+from repro.hardware.hetero import DeviceRates
 from repro.memory.footprint import FootprintModel
 from repro.perfmodel.cost import HardwareRates, PerfModel
 from repro.perfmodel.selector import StrategySelector
@@ -180,26 +182,78 @@ class Evaluator:
         n: int,
         gemm_derate: float = 1.0,
         workload: WorkloadSpec | None = None,
+        rows: int | None = None,
     ) -> MoEStageCosts:
-        """Memoized :meth:`MoEStageCosts.compute` for one operating point."""
+        """Memoized :meth:`MoEStageCosts.compute` for one operating point.
+
+        ``rows`` substitutes one rank's row count for the workload's
+        bottleneck scalar (the per-rank hetero composition); it joins
+        the memo key like every other input.
+        """
         if not self.enabled:
             self.stats.cost_misses += 1
             return MoEStageCosts.compute(
                 spec, batch, n, self.context.device, self.comm_model(),
                 gemm_derate=gemm_derate, workload=workload,
+                rows_override=rows,
             )
-        key = (self._hkey, spec, batch, n, gemm_derate, workload)
+        key = (self._hkey, spec, batch, n, gemm_derate, workload, rows)
         costs = self._costs.get(key)
         if costs is None:
             self.stats.cost_misses += 1
             costs = MoEStageCosts.compute(
                 spec, batch, n, self.context.device, self.comm_model(),
                 gemm_derate=gemm_derate, workload=workload,
+                rows_override=rows,
             )
             self._costs[key] = costs
         else:
             self.stats.cost_hits += 1
         return costs
+
+    # -- placement-aware hetero composition ------------------------------------
+    def _placement_pairs(
+        self,
+        spec: MoELayerSpec,
+        batch: int,
+        n: int,
+        gemm_derate: float,
+        workload: WorkloadSpec,
+    ) -> list[tuple[int, "DeviceRates"]]:
+        """Distinct (rows, device profile) pairs for a placed workload.
+
+        The seed hetero path runs the *bottleneck* costs through every
+        distinct device profile and keeps the worst — correct when the
+        hot load implicitly sits on every candidate device.  With an
+        explicit placement each rank's own anchored row count joins that
+        rank's own comp/mem rates (comm stays unit: link skew is already
+        priced into the collective through the topology's traffic view),
+        so "hot expert on the slow device" and "hot expert on the fast
+        device" finally price differently.
+        """
+        load = workload.load(spec, batch, self.context.effective_world)
+        hetero = self.context.hetero
+        pairs: dict[tuple[int, DeviceRates], None] = {}
+        for rank, rank_rows in enumerate(load.anchored_rank_rows()):
+            if rank_rows <= 0:
+                continue
+            if hetero is None:
+                profile = DeviceRates()
+            else:
+                rates = hetero.rates_for(rank)
+                profile = DeviceRates(comp=rates.comp, mem=rates.mem)
+            pairs.setdefault((max(1, math.ceil(rank_rows)), profile), None)
+        return list(pairs)
+
+    def _use_placement_pairs(self, workload: WorkloadSpec | None) -> bool:
+        """Per-rank composition applies to placed workloads on hetero
+        clusters; homogeneous contexts already price the worst rank
+        exactly through the scalar ``device_rows`` path."""
+        return (
+            workload is not None
+            and workload.placed
+            and bool(self.context.sim_profiles)
+        )
 
     # -- simulation ------------------------------------------------------------
     def makespan(
@@ -232,11 +286,18 @@ class Evaluator:
             self.stats.makespan_hits += 1
             return cached
         self.stats.makespan_misses += 1
-        costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
-        value = max(self._profile_makespans(compiled, costs))
+        if self._use_placement_pairs(workload):
+            value = max(
+                self._pair_makespans(
+                    compiled, spec, batch, n, gemm_derate, workload
+                )
+            )
+        else:
+            costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
+            value = max(self._profile_makespans(compiled, costs))
         self._makespans[key] = value
         return value
 
@@ -265,10 +326,33 @@ class Evaluator:
             self.stats.sim_hits += 1
             return sim
         self.stats.sim_misses += 1
-        costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
         compiled = compile_timeline(
             n, strategy, decomposed_comm=decomposed_comm, sequential=sequential
         )
+        if self._use_placement_pairs(workload):
+            # Price every (rows, profile) pair, then record the gating
+            # rank's run — ties break on pair order, matching max().
+            pairs = self._placement_pairs(spec, batch, n, gemm_derate, workload)
+            spans = []
+            pair_works = []
+            for rows, profile in pairs:
+                costs = self.stage_costs(
+                    spec, batch, n, gemm_derate, workload, rows=rows
+                )
+                works = compiled.works(costs)
+                pair_works.append((profile, works))
+                spans.append(
+                    self.context.engine_for(profile).compiled_makespan(
+                        compiled.dag, works
+                    )
+                )
+            profile, works = pair_works[spans.index(max(spans))]
+            sim = self.context.engine_for(profile).run_compiled(
+                compiled.dag, works, record=True
+            )
+            self._sims[key] = sim
+            return sim
+        costs = self.stage_costs(spec, batch, n, gemm_derate, workload)
         profiles = self.context.sim_profiles
         works = compiled.works(costs)
         if not profiles:
@@ -301,6 +385,24 @@ class Evaluator:
             for p in profiles
         ]
 
+    def _pair_makespans(
+        self, compiled, spec, batch, n, gemm_derate, workload
+    ) -> list[float]:
+        """Makespan per (rows, profile) pair of a placed workload."""
+        return [
+            self.context.engine_for(profile).compiled_makespan(
+                compiled.dag,
+                compiled.works(
+                    self.stage_costs(
+                        spec, batch, n, gemm_derate, workload, rows=rows
+                    )
+                ),
+            )
+            for rows, profile in self._placement_pairs(
+                spec, batch, n, gemm_derate, workload
+            )
+        ]
+
     def _cold_sim(
         self, spec, batch, n, strategy, decomposed, sequential, derate,
         workload=None,
@@ -310,7 +412,26 @@ class Evaluator:
         Heterogeneous contexts run the fresh Op DAG once per device
         profile and keep the worst run — the uncached mirror of the
         warm path, so cache-correctness tests hold under skew too.
+        Placed workloads mirror the warm per-rank composition: each
+        rank's rows through that rank's profile, worst run kept.
         """
+        if self._use_placement_pairs(workload):
+            sims = []
+            for rows, profile in self._placement_pairs(
+                spec, batch, n, derate, workload
+            ):
+                costs = MoEStageCosts.compute(
+                    spec, batch, n, self.context.device,
+                    self.context.comm_model(),
+                    gemm_derate=derate, workload=workload, rows_override=rows,
+                )
+                ops = build_timeline(
+                    costs, n, strategy,
+                    decomposed_comm=decomposed, sequential=sequential,
+                )
+                sims.append(self.context.engine_for(profile).run(ops))
+            spans = [sim.makespan for sim in sims]
+            return sims[spans.index(max(spans))]
         costs = MoEStageCosts.compute(
             spec, batch, n, self.context.device, self.context.comm_model(),
             gemm_derate=derate, workload=workload,
@@ -377,18 +498,46 @@ class Evaluator:
         key = (spec, workload)
         selector = self._selectors.get(key) if self.enabled else None
         if selector is None:
-            rates = HardwareRates.from_cluster(self.context.device, self.comm_model())
             hetero = self.context.hetero
-            if hetero is not None:
+            world = self.context.effective_world
+            placed = workload is not None and workload.placed
+            rates = HardwareRates.from_cluster(self.context.device, self.comm_model())
+            rank_rates = None
+            if placed:
+                # Placement-aware W_comm: gate degraded links by the
+                # traffic the placement actually routes over them (the
+                # relative per-rank profile is batch-independent, so any
+                # batch resolves the same factor).
+                comm = self.comm_model()
+                if world > 1:
+                    traffic = workload.load(spec, 1, world).traffic()
+                    w_comm = comm.topology.alltoall_bandwidth(
+                        world, traffic=traffic
+                    ) / ((world - 1) / world)
+                    rates = HardwareRates(
+                        w_comp=rates.w_comp, w_comm=w_comm, w_mem=rates.w_mem
+                    )
+                if hetero is not None:
+                    # Per-rank composition instead of the worst-device
+                    # rescale: each rank's load meets its own rates.
+                    rank_rates = tuple(
+                        DeviceRates(
+                            comp=hetero.rates_for(r).comp,
+                            mem=hetero.rates_for(r).mem,
+                        )
+                        for r in range(world)
+                    )
+            elif hetero is not None:
                 # W_comm already rides the link-overridden topology; the
                 # bottleneck device rescales W_comp and W_mem.
-                worst = hetero.bottleneck_rates(self.context.effective_world)
+                worst = hetero.bottleneck_rates(world)
                 rates = rates.scaled(comp=worst.comp, mem=worst.mem)
             selector = StrategySelector(
                 PerfModel(
                     spec, rates,
                     workload=workload,
-                    world_size=self.context.effective_world,
+                    world_size=world,
+                    rank_rates=rank_rates,
                 ),
                 footprint=self.footprint(spec, workload),
                 device_capacity=self.context.device_memory_bytes,

@@ -1,0 +1,312 @@
+"""Skew-aware expert placement optimizer (greedy + local search).
+
+The pricing substrate (:mod:`repro.perfmodel.placement`,
+:meth:`repro.perfmodel.workload.RoutedLoad.anchored_rank_rows`) makes a
+placement *priceable*; this module makes it *choosable*.  The objective
+is the quantity the Eq. 10 bottleneck actually gates on: the worst
+rank's anchored row count divided by that rank's relative compute rate,
+
+    score(P) = max_r  anchored_rows_r(P) / comp_r ,
+
+so a hot expert on a 0.5x straggler costs twice what it costs on a
+healthy device, and the optimizer's job is to route the heat away from
+the slow metal — subject to each device's Eq. 5 memory bound (model
+states for the experts it hosts plus the pipelined activations for the
+rows it receives must fit).
+
+Two searchers share that objective:
+
+* :func:`optimize_placement` — greedy (hottest expert first, onto the
+  device where it raises the score least, feasible devices only)
+  followed by local-search refinement (single-expert moves and pairwise
+  swaps until a sweep finds no improvement);
+* :func:`exhaustive_placement` — all ``W^E`` assignments, for the small
+  cases the agreement property test sweeps (``E <= 6, W <= 4``).
+
+Both emit an *explicit* :class:`~repro.perfmodel.placement
+.PlacementSpec` — the sweep runner lowers ``placement="optimized"``
+scenarios through :func:`optimize_placement` before any pricing layer
+sees them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.config import BYTES_PER_ELEM, MoELayerSpec
+from repro.memory.footprint import activations_elems
+from repro.perfmodel.placement import PlacementSpec
+from repro.perfmodel.workload import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One optimization instance: loads, speeds, and memory bounds.
+
+    ``per_expert_rows`` are per-source row counts (hot first — the
+    order :meth:`RoutedLoad.per_expert_rows` emits); ``comp_rates`` are
+    relative per-rank compute multipliers (1.0 = nominal);
+    ``memory_bytes`` is the per-device Eq. 5 budget (None = unbounded).
+    """
+
+    spec: MoELayerSpec
+    batch: int
+    world_size: int
+    per_expert_rows: tuple[float, ...]
+    comp_rates: tuple[float, ...]
+    memory_bytes: int | None = None
+    bytes_per_elem: int = BYTES_PER_ELEM
+    #: Expert-count cap per rank.  None = the balanced ``ceil(E / W)``
+    #: of contiguous sharding: the optimizer re-*arranges* the balanced
+    #: shard map, it does not re-size it — stacking experts on one fast
+    #: rank would defeat expert parallelism's memory sharding (and the
+    #: per-rank anchored pricing frame would under-charge it).
+    max_per_rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if len(self.per_expert_rows) != self.spec.num_experts:
+            raise ValueError(
+                f"need {self.spec.num_experts} per-expert loads, got "
+                f"{len(self.per_expert_rows)}"
+            )
+        if len(self.comp_rates) != self.world_size:
+            raise ValueError(
+                f"need {self.world_size} comp rates, got "
+                f"{len(self.comp_rates)}"
+            )
+        if min(self.comp_rates) <= 0:
+            raise ValueError("comp rates must be positive")
+        if self.max_per_rank is not None:
+            if self.max_per_rank * self.world_size < self.spec.num_experts:
+                raise ValueError(
+                    f"max_per_rank={self.max_per_rank} cannot host "
+                    f"{self.spec.num_experts} experts on "
+                    f"{self.world_size} ranks"
+                )
+
+    @property
+    def rank_cap(self) -> int:
+        """The effective per-rank expert-count cap."""
+        if self.max_per_rank is not None:
+            return self.max_per_rank
+        return -(-self.spec.num_experts // self.world_size)
+
+    @classmethod
+    def from_workload(
+        cls,
+        spec: MoELayerSpec,
+        workload: WorkloadSpec,
+        world_size: int,
+        batch: int,
+        comp_rates: tuple[float, ...] | None = None,
+        memory_bytes: int | None = None,
+    ) -> "PlacementProblem":
+        """Build the instance from a workload's skew histogram.
+
+        The workload's own placement field is ignored — the optimizer
+        is choosing it.
+        """
+        base = replace(workload, placement=None)
+        load = base.load(spec, batch, world_size)
+        return cls(
+            spec=spec,
+            batch=batch,
+            world_size=world_size,
+            per_expert_rows=load.per_expert_rows(),
+            comp_rates=comp_rates
+            if comp_rates is not None
+            else (1.0,) * world_size,
+            memory_bytes=memory_bytes,
+        )
+
+    # -- objective -----------------------------------------------------------
+    def score(self, assignment: tuple[int, ...]) -> float:
+        """The bottleneck metric: worst rank's anchored rows over its rate."""
+        e = self.spec.num_experts
+        loads = [0.0] * self.world_size
+        counts = [0] * self.world_size
+        for expert, rank in enumerate(assignment):
+            loads[rank] += self.per_expert_rows[expert]
+            counts[rank] += 1
+        worst = 0.0
+        for rank in range(self.world_size):
+            if counts[rank]:
+                anchored = e * loads[rank] / counts[rank]
+                worst = max(worst, anchored / self.comp_rates[rank])
+        return worst
+
+    # -- Eq. 5 feasibility ---------------------------------------------------
+    def device_bytes(self, count: int, load: float) -> int:
+        """One device's pipelined footprint hosting ``count`` experts.
+
+        The conservative bound the optimizer enforces: Eq. 1 states for
+        the hosted experts plus twice the Eq. 4 activations for the
+        anchored rows (pipelined, no reuse) — exactly
+        :meth:`FootprintModel.per_device_bytes` at ``pipelined=True,
+        reuse_n=0``.
+        """
+        states = 4 * (
+            self.spec.gate_params + count * self.spec.expert_params
+        ) * self.bytes_per_elem
+        e = self.spec.num_experts
+        rows = max(0, math.ceil(e * load / count)) if count else 0
+        act = activations_elems(self.spec, self.batch, rows) * self.bytes_per_elem
+        return states + 2 * act
+
+    def feasible(self, assignment: tuple[int, ...]) -> bool:
+        """Whether the count cap and every Eq. 5 memory bound hold."""
+        loads = [0.0] * self.world_size
+        counts = [0] * self.world_size
+        for expert, rank in enumerate(assignment):
+            loads[rank] += self.per_expert_rows[expert]
+            counts[rank] += 1
+        if max(counts) > self.rank_cap:
+            return False
+        if self.memory_bytes is None:
+            return True
+        return all(
+            self.device_bytes(counts[r], loads[r]) <= self.memory_bytes
+            for r in range(self.world_size)
+        )
+
+
+def exhaustive_placement(problem: PlacementProblem) -> PlacementSpec:
+    """The true optimum by enumeration — ``W^E`` assignments.
+
+    Small cases only (the agreement test sweeps ``E <= 6, W <= 4``);
+    ties break on the lexicographically smallest assignment so the
+    result is deterministic.  Raises if no assignment is feasible.
+    """
+    e, w = problem.spec.num_experts, problem.world_size
+    if w**e > 2_000_000:
+        raise ValueError(
+            f"exhaustive search over {w}^{e} assignments is intractable; "
+            "use optimize_placement"
+        )
+    best: tuple[int, ...] | None = None
+    best_score = math.inf
+    assignment = [0] * e
+    while True:
+        candidate = tuple(assignment)
+        if problem.feasible(candidate):
+            score = problem.score(candidate)
+            if score < best_score - 1e-12:
+                best, best_score = candidate, score
+        # odometer increment
+        i = e - 1
+        while i >= 0 and assignment[i] == w - 1:
+            assignment[i] = 0
+            i -= 1
+        if i < 0:
+            break
+        assignment[i] += 1
+    if best is None:
+        raise ValueError(
+            "no feasible placement under the per-device memory bound"
+        )
+    return PlacementSpec.explicit(best)
+
+
+def optimize_placement(
+    problem: PlacementProblem, max_rounds: int = 8
+) -> PlacementSpec:
+    """Greedy assignment plus local-search refinement.
+
+    Greedy: experts in descending load order (hottest first), each onto
+    the feasible device where the resulting bottleneck score is lowest
+    — ties prefer the fastest device, then the lowest rank, so results
+    are deterministic.  Refinement: alternating sweeps of single-expert
+    moves and pairwise swaps, accepting strict improvements, until a
+    full sweep changes nothing or ``max_rounds`` is hit.  Raises if no
+    feasible assignment exists (every expert must land somewhere).
+    """
+    e, w = problem.spec.num_experts, problem.world_size
+    order = sorted(
+        range(e), key=lambda i: (-problem.per_expert_rows[i], i)
+    )
+    assignment: list[int | None] = [None] * e
+
+    def partial_metrics(
+        upto_assignment: list[int | None],
+    ) -> tuple[list[float], list[int]]:
+        loads = [0.0] * w
+        counts = [0] * w
+        for expert, rank in enumerate(upto_assignment):
+            if rank is not None:
+                loads[rank] += problem.per_expert_rows[expert]
+                counts[rank] += 1
+        return loads, counts
+
+    for expert in order:
+        loads, counts = partial_metrics(assignment)
+        rows = problem.per_expert_rows[expert]
+        best_rank = None
+        best_key: tuple[float, float, int] | None = None
+        for rank in range(w):
+            new_load = loads[rank] + rows
+            new_count = counts[rank] + 1
+            if new_count > problem.rank_cap:
+                continue
+            if problem.memory_bytes is not None and (
+                problem.device_bytes(new_count, new_load)
+                > problem.memory_bytes
+            ):
+                continue
+            # Projected bottleneck over the partially-built assignment.
+            score = 0.0
+            for r in range(w):
+                load = new_load if r == rank else loads[r]
+                count = new_count if r == rank else counts[r]
+                if count:
+                    score = max(
+                        score, e * load / count / problem.comp_rates[r]
+                    )
+            key = (score, -problem.comp_rates[rank], rank)
+            if best_key is None or key < best_key:
+                best_key, best_rank = key, rank
+        if best_rank is None:
+            raise ValueError(
+                "no feasible placement under the per-device memory bound"
+            )
+        assignment[expert] = best_rank
+
+    current = tuple(assignment)  # type: ignore[arg-type]
+    current_score = problem.score(current)
+
+    for _ in range(max_rounds):
+        improved = False
+        # Single-expert moves.
+        for expert in range(e):
+            for rank in range(w):
+                if rank == current[expert]:
+                    continue
+                cand = current[:expert] + (rank,) + current[expert + 1:]
+                if not problem.feasible(cand):
+                    continue
+                score = problem.score(cand)
+                if score < current_score - 1e-12:
+                    current, current_score = cand, score
+                    improved = True
+        # Pairwise swaps (escape move-local minima).
+        for a in range(e):
+            for b in range(a + 1, e):
+                if current[a] == current[b]:
+                    continue
+                cand = list(current)
+                cand[a], cand[b] = cand[b], cand[a]
+                cand_t = tuple(cand)
+                if not problem.feasible(cand_t):
+                    continue
+                score = problem.score(cand_t)
+                if score < current_score - 1e-12:
+                    current, current_score = cand_t, score
+                    improved = True
+        if not improved:
+            break
+
+    return PlacementSpec.explicit(current)

@@ -44,6 +44,16 @@ integer arithmetic, so every consumer reproduces the pre-workload
 numbers bit for bit — the degenerate-identity contract the golden
 tests pin.
 
+With :mod:`repro.perfmodel.placement` the expert→rank assignment is an
+input too: a :class:`~repro.perfmodel.placement.PlacementSpec` on the
+workload turns ``device_rows`` from "the contiguous hot rank's rows"
+into "the worst rank's rows under *this* placement", and
+:class:`RoutedLoad` grows the per-rank row vectors
+(:meth:`RoutedLoad.rank_rows`, :meth:`RoutedLoad.anchored_rank_rows`)
+that the hetero composition, the traffic-aware collective and the
+per-device Eq. 5 check consume.  No placement (or the default
+contiguous one) takes the exact pre-placement code path.
+
 This module is deliberately dependency-free (stdlib ``math`` only) so
 any layer — core dispatch, the timing schedule, the Eq. 10 closed
 form, the memory model — can consume it without import cycles.
@@ -53,6 +63,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+from .placement import ExpertPlacement, PlacementSpec
 
 #: Activation element widths by dtype name.  ``fp16`` matches the
 #: paper's half-precision wire format (and the timing layer's
@@ -111,6 +123,7 @@ class RoutedLoad:
     device_rows: int  # rows the bottleneck device computes/exchanges
     overflow_rows: int  # routed rows dropped per source device
     hot_pressure: float | None  # hot_rows / capacity; None when uncapped
+    placement: ExpertPlacement | None = None  # None = implicit contiguous
 
     def per_expert_rows(self) -> tuple[float, ...]:
         """Effective (capacity-capped) per-expert row counts, hot first."""
@@ -125,6 +138,70 @@ class RoutedLoad:
         if not self.routed_rows:
             return 1.0
         return 1.0 - self.overflow_rows / self.routed_rows
+
+    # -- per-rank views ------------------------------------------------------
+    def effective_placement(self) -> ExpertPlacement:
+        """The resolved placement, defaulting to the implicit contiguous map."""
+        if self.placement is not None:
+            return self.placement
+        return ExpertPlacement.contiguous(self.num_experts, self.world_size)
+
+    def rank_rows(self) -> tuple[float, ...]:
+        """Physical per-source rows landing on each rank (pre-capacity).
+
+        Entry ``r`` is the sum of the per-source loads of the experts
+        rank ``r`` hosts (a shadowed expert contributes half to its host
+        and half to its replica), so the vector sums to ``routed_rows``
+        for *every* placement, skew and geometry — the conservation
+        property the placement tests pin.
+        """
+        per = (self.hot_rows,) + (self.cold_rows,) * (self.num_experts - 1)
+        return self.effective_placement().rank_loads(per)
+
+    def anchored_rank_rows(self) -> tuple[float, ...]:
+        """Per-rank rows in the frame ``device_rows`` is stated in.
+
+        The scalar ``device_rows`` anchors the bottleneck rank's load to
+        the uniform per-device batch: ``E * load_r / n_r`` for a rank
+        hosting ``n_r`` experts (0 for expertless ranks) — under uniform
+        routing every hosting rank anchors to exactly ``routed_rows``,
+        and at the contiguous hot rank the expression reduces to the
+        scalar formula, which is what makes ``device_rows ==
+        max(anchored_rank_rows)`` (up to the ceil).  Under a capacity
+        factor the frame is the padded collective buffer instead:
+        ``n_r * W * C`` rows on rank ``r``.
+
+        This is the vector the hetero composition joins with each
+        rank's :class:`~repro.hardware.hetero.DeviceRates` and the
+        placement optimizer scores against device speeds.
+        """
+        placement = self.effective_placement()
+        counts = placement.counts()
+        if self.capacity is not None:
+            w, cap = self.world_size, self.capacity
+            return tuple(float(n * w * cap) for n in counts)
+        loads = self.rank_rows()
+        e = self.num_experts
+        return tuple(
+            e * load / n if n else 0.0 for load, n in zip(loads, counts)
+        )
+
+    def traffic(self) -> tuple[float, ...] | None:
+        """Per-rank relative All-to-All traffic, or None for the default.
+
+        ``None`` keeps the seed collective model (every participant
+        equally loaded, the slowest link gates).  For an explicit
+        placement the entries are proportional to the bytes each rank
+        receives — physical rows when uncapped, padded buffer slots
+        under a capacity factor — which is what lets
+        :meth:`repro.hardware.topology.ClusterTopology.alltoall_bandwidth`
+        relieve a degraded link that the placement keeps lightly loaded.
+        """
+        if self.placement is None:
+            return None
+        if self.capacity is not None:
+            return tuple(float(n) for n in self.placement.counts())
+        return self.rank_rows()
 
 
 @dataclass(frozen=True)
@@ -145,6 +222,7 @@ class WorkloadSpec:
     bytes_per_elem: int = DTYPE_BYTES[TIMING_DTYPE]
     imbalance: float = 1.0
     capacity_factor: float | None = None
+    placement: PlacementSpec | None = None
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.top_k < 1:
@@ -158,6 +236,23 @@ class WorkloadSpec:
             )
         if self.capacity_factor is not None and self.capacity_factor <= 0:
             raise ValueError("capacity_factor must be positive (or None)")
+        if self.placement is not None and not isinstance(
+            self.placement, PlacementSpec
+        ):
+            raise TypeError(
+                "placement must be a repro.perfmodel.placement.PlacementSpec "
+                f"(got {type(self.placement).__name__})"
+            )
+
+    @property
+    def placed(self) -> bool:
+        """Whether a non-default placement steers the pricing.
+
+        The default contiguous placement *is* the seed model, so it
+        prices through the exact pre-placement code paths — only a
+        non-default placement activates the per-rank machinery.
+        """
+        return self.placement is not None and not self.placement.is_default
 
     @classmethod
     def for_dtype(cls, dtype: str, **kwargs) -> "WorkloadSpec":
@@ -188,6 +283,7 @@ class WorkloadSpec:
             and self.bytes_per_elem == DTYPE_BYTES[TIMING_DTYPE]
             and self.imbalance == 1.0
             and self.capacity_factor is None
+            and not self.placed
         )
 
     # -- the load model ------------------------------------------------------
@@ -207,11 +303,19 @@ class WorkloadSpec:
         k = self.resolved_k(spec)
         e = spec.num_experts
         w = max(1, world_size)
-        # The bottleneck device hosts ceil(E / W) experts: with uneven
-        # sharding the fattest rank holds the extra expert (flooring
-        # here would model a device *smaller* than any real one and
-        # price mild skew below uniform).
-        experts_per_rank = -(-e // w)
+        placement = (
+            self.placement.resolve(e, w) if self.placed else None
+        )
+        if placement is None:
+            # The bottleneck device hosts ceil(E / W) experts: with uneven
+            # sharding the fattest rank holds the extra expert (flooring
+            # here would model a device *smaller* than any real one and
+            # price mild skew below uniform).
+            experts_per_rank = -(-e // w)
+        else:
+            # The fattest rank under the actual placement (a shadow
+            # replica counts — it stores a full expert copy).
+            experts_per_rank = placement.max_experts_per_rank
         routed = batch * k
 
         if e == 1:
@@ -230,11 +334,11 @@ class WorkloadSpec:
         if capacity is None:
             overflow = 0
             pressure = None
-            if self.imbalance == 1.0:
+            if placement is None and self.imbalance == 1.0:
                 # Pure-integer fast path: neutral (and uniform top-k)
                 # workloads must resolve without float round-trips.
                 device_rows = routed
-            else:
+            elif placement is None:
                 # Bottleneck ratio: the hot rank's load over a uniform
                 # rank's, normalized so any expert/world geometry —
                 # including E % W != 0 and W > E — stays anchored to the
@@ -245,11 +349,34 @@ class WorkloadSpec:
                 device_rows = max(
                     routed, math.ceil(routed * hot_rank / uniform_rank)
                 )
+            elif self.imbalance == 1.0 and placement.shadow is None:
+                # Under uniform routing every hosting rank anchors to
+                # exactly ``routed`` whatever the assignment, so any
+                # shadow-free placement resolves through the same
+                # integer fast path (placement only matters with skew).
+                device_rows = routed
+            else:
+                # Per-rank generalization of the bottleneck ratio:
+                # anchor each rank's load to the uniform per-device
+                # frame through its own expert count (``E * load_r /
+                # n_r``) and take the worst rank.  At the contiguous hot
+                # rank this reduces to the scalar formula above; a
+                # shadow can genuinely land below ``routed`` (it splits
+                # the hot rows), so only shadow-free placements clamp.
+                counts = placement.counts()
+                loads = placement.rank_loads((hot,) + (cold,) * (e - 1))
+                worst = max(
+                    e * load / n for load, n in zip(loads, counts) if n
+                )
+                device_rows = max(1, math.ceil(worst))
+                if placement.shadow is None:
+                    device_rows = max(routed, device_rows)
         else:
             # Equal-shaped collective buffers: every device computes and
             # ships its padded (E_local, W, C) buffer regardless of how
             # the load actually lands; skew shows up as overflow.  The
-            # fattest rank's buffer is ceil(E/W) * W * C rows.
+            # fattest rank's buffer is ceil(E/W) * W * C rows (under a
+            # placement, the fattest *placed* rank's buffer).
             device_rows = experts_per_rank * w * capacity
             # Count drops on the canonical integer realization of the
             # skew — the hot expert takes ceil(hot) rows, the cold
@@ -259,12 +386,24 @@ class WorkloadSpec:
             # the summed excesses can land one row high when the cold
             # share is a repeating fraction).
             n_hot = math.ceil(hot)
-            overflow = max(0, n_hot - capacity)
+            if (
+                placement is not None
+                and placement.shadow is not None
+                and placement.shadow[0] == 0
+            ):
+                # The replica doubles the hot expert's capacity slots:
+                # its rows split ceil/floor across the two buffers.
+                high = -(-n_hot // 2)
+                overflow = max(0, high - capacity)
+                overflow += max(0, n_hot - high - capacity)
+                pressure = (hot / 2) / capacity
+            else:
+                overflow = max(0, n_hot - capacity)
+                pressure = hot / capacity
             if e > 1:
                 base, extra = divmod(routed - n_hot, e - 1)
                 overflow += extra * max(0, base + 1 - capacity)
                 overflow += (e - 1 - extra) * max(0, base - capacity)
-            pressure = hot / capacity
 
         return RoutedLoad(
             num_experts=e,
@@ -277,6 +416,7 @@ class WorkloadSpec:
             device_rows=device_rows,
             overflow_rows=overflow,
             hot_pressure=pressure,
+            placement=placement,
         )
 
     def device_rows(self, spec, batch: int, world_size: int = 1) -> int:

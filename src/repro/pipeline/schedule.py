@@ -88,6 +88,7 @@ class MoEStageCosts:
         bytes_per_elem: int | None = None,
         gemm_derate: float = 1.0,
         workload: "WorkloadSpec | None" = None,
+        rows_override: int | None = None,
     ) -> "MoEStageCosts":
         """Derive stage costs for per-device batch ``batch`` split n ways.
 
@@ -106,15 +107,38 @@ class MoEStageCosts:
         ``bytes_per_elem`` that contradicts the workload is rejected.
         A neutral workload (or ``None``) reproduces the k=1 /
         half-precision / uniform pricing bit for bit.
+
+        ``rows_override`` substitutes a specific rank's row count for
+        the workload's bottleneck scalar — the per-rank hetero
+        composition prices each rank's own load against that rank's own
+        device rates.  Only meaningful with a workload.
+
+        When the workload carries a non-default placement, both
+        All-to-All flavours are additionally priced against the
+        placement's per-rank traffic view (a degraded link only gates
+        the collective in proportion to the traffic the placement
+        actually routes over it).
         """
         if batch < 1 or n < 1:
             raise ValueError("batch and n must be >= 1")
         if not 0 < gemm_derate <= 1:
             raise ValueError("gemm_derate must be in (0, 1]")
+        traffic = None
         if workload is not None:
             bytes_per_elem = workload.resolve_bytes(bytes_per_elem)
-            rows = workload.device_rows(spec, batch, comm.effective_world)
+            if workload.placed:
+                load = workload.load(spec, batch, comm.effective_world)
+                rows = load.device_rows
+                traffic = load.traffic()
+            else:
+                rows = workload.device_rows(spec, batch, comm.effective_world)
+            if rows_override is not None:
+                if rows_override < 0:
+                    raise ValueError("rows_override must be >= 0")
+                rows = max(1, rows_override)
         else:
+            if rows_override is not None:
+                raise ValueError("rows_override needs a workload")
             if bytes_per_elem is None:
                 bytes_per_elem = TIMING_BYTES_PER_ELEM
             rows = batch
@@ -127,14 +151,22 @@ class MoEStageCosts:
         def gemm_time(num: int) -> float:
             return device.gemm_time(num * gemm_flops, num_kernels=num) / rate
 
+        if traffic is None:
+            s_time = comm.alltoall_time(comm_bytes)
+            p2p_s_time = comm.decomposed_alltoall_time(comm_bytes)
+        else:
+            s_time = comm.alltoall_time(comm_bytes, traffic=traffic)
+            p2p_s_time = comm.decomposed_alltoall_time(
+                comm_bytes, traffic=traffic
+            )
         return cls(
-            s_time=comm.alltoall_time(comm_bytes),
+            s_time=s_time,
             c_fw_time=gemm_time(2),
             c_bw_time=gemm_time(4),
             recompute_time=gemm_time(1),
             offload_tdi_time=device.memcpy_time(b * m * bytes_per_elem),
             offload_tm_time=device.memcpy_time(b * h * bytes_per_elem),
-            p2p_s_time=comm.decomposed_alltoall_time(comm_bytes),
+            p2p_s_time=p2p_s_time,
         )
 
 

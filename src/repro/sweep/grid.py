@@ -14,10 +14,12 @@ concatenate with ``+`` so mixed studies (e.g. Fig. 11's adaptive *and*
 pinned-n PipeMoE points) stay declarative.
 
 Scenarios are frozen, hashable and JSON-stable: :meth:`Scenario.key`
-digests the field dict, which is what the runner's on-disk cache and the
-worker-process fan-out key on.  New fields extend the digest, so grids
-from before an axis existed re-evaluate as cache misses — never as
-stale hits.
+digests the field dict (via :func:`scenario_payload`), which is what
+the runner's on-disk cache and the worker-process fan-out key on.  New
+fields extend the digest *when set*, so grids crossing a new axis
+re-evaluate as cache misses — never as stale hits — while fields at
+their "axis absent" default are omitted from the payload and old cache
+entries keep hitting.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.config import PRESETS
 from repro.hardware.hetero import STRAGGLER_KINDS
+from repro.perfmodel.placement import PLACEMENT_AXIS_VALUES
 from repro.perfmodel.workload import DTYPE_BYTES
 
 SYSTEM_NAMES = ("fastmoe", "fastermoe", "pipemoe", "mpipemoe")
@@ -83,6 +86,12 @@ class Scenario:
     top_k: int | None = None
     dtype: str | None = None
     imbalance: float = 1.0
+    #: Expert-placement strategy (None = the implicit contiguous shard
+    #: map, priced through the exact pre-placement code paths).  Named
+    #: values come from :data:`repro.perfmodel.placement
+    #: .PLACEMENT_AXIS_VALUES`; "optimized" is lowered to an explicit
+    #: assignment by the runner before pricing.
+    placement: str | None = None
 
     def __post_init__(self) -> None:
         if self.system not in BACKEND_NAMES:
@@ -154,11 +163,23 @@ class Scenario:
                 "imbalance is the hottest-expert load ratio: >= 1.0 "
                 "(1.0 = uniform gating)"
             )
+        if self.placement is not None:
+            if self.placement not in PLACEMENT_AXIS_VALUES:
+                raise ValueError(
+                    f"unknown placement {self.placement!r}; available: "
+                    f"{PLACEMENT_AXIS_VALUES} (or None for the implicit "
+                    f"contiguous shard map)"
+                )
+            if self.placement == "shadowed" and self.world_size < 2:
+                raise ValueError(
+                    "placement='shadowed' needs world_size >= 2 to host "
+                    "the replica off the hot expert's rank"
+                )
 
     def __hash__(self) -> int:
         # Memoized: the runner hashes each scenario several times per
         # run (dedupe dict, values/stats maps), and on a 10k+-point
-        # vectorized sweep the generated 16-field-tuple hash becomes
+        # vectorized sweep the generated 17-field-tuple hash becomes
         # measurable overhead.  Frozen dataclass, so compute-once is
         # safe; equal scenarios have equal field tuples, hence equal
         # cached hashes.
@@ -171,7 +192,7 @@ class Scenario:
             self.strategy, self.decomposed_comm, self.sequential,
             self.straggler, self.severity, self.straggler_seed,
             self.num_experts, self.capacity_factor, self.top_k,
-            self.dtype, self.imbalance,
+            self.dtype, self.imbalance, self.placement,
         ))
         object.__setattr__(self, "_hash", value)
         return value
@@ -180,7 +201,7 @@ class Scenario:
         """Stable digest of this scenario (plus an optional salt such as
         the evaluator's qualified name) — the cache key."""
         payload = json.dumps(
-            {"salt": salt, "scenario": asdict(self)}, sort_keys=True
+            {"salt": salt, "scenario": scenario_payload(self)}, sort_keys=True
         )
         return hashlib.sha1(payload.encode()).hexdigest()[:20]
 
@@ -210,7 +231,25 @@ class Scenario:
             parts.append(self.dtype)
         if self.imbalance != 1.0:
             parts.append(f"skew={self.imbalance:g}x")
+        if self.placement is not None:
+            parts.append(f"pl={self.placement}")
         return "/".join(parts)
+
+
+def scenario_payload(scenario: Scenario) -> dict:
+    """The scenario's serialized field dict — the cache/wire payload.
+
+    A ``placement`` of ``None`` is the pre-placement contiguous default
+    and is *omitted* from the payload, so every digest, cache file and
+    result JSON produced before the axis existed stays byte-identical:
+    default scenarios hit their old cache entries instead of
+    re-evaluating the same numbers under new keys.  Named placements
+    serialize normally (and therefore key distinctly).
+    """
+    payload = asdict(scenario)
+    if payload.get("placement") is None:
+        del payload["placement"]
+    return payload
 
 
 #: Grid axis name -> the :class:`Scenario` field it populates, in the
@@ -232,6 +271,7 @@ AXIS_FIELDS: dict[str, str] = {
     "top_ks": "top_k",
     "dtypes": "dtype",
     "imbalances": "imbalance",
+    "placements": "placement",
 }
 
 
@@ -255,8 +295,9 @@ class ScenarioGrid:
 
     Axis order is fixed (system, spec, world_size, batch, n, strategy,
     decomposed, sequential, straggler, severity, straggler_seed,
-    num_experts, capacity_factor, top_k, dtype, imbalance) so iteration
-    order — and therefore sweep result order — is deterministic.  ``grid_a + grid_b``
+    num_experts, capacity_factor, top_k, dtype, imbalance, placement)
+    so iteration order — and therefore sweep result order — is
+    deterministic.  ``grid_a + grid_b``
     concatenates into a :class:`ScenarioList` (grid-compatible:
     ``scenarios()``/``len``/``+`` keep chaining) for non-rectangular
     studies.  Unknown axis names fail eagerly with the valid spellings —
@@ -281,6 +322,7 @@ class ScenarioGrid:
         top_ks: Sequence[int | None] = (None,),
         dtypes: Sequence[str | None] = (None,),
         imbalances: Sequence[float] = (1.0,),
+        placements: Sequence[str | None] = (None,),
         **unknown_axes,
     ) -> None:
         if unknown_axes:
@@ -313,6 +355,7 @@ class ScenarioGrid:
             _check_axis("top_ks", top_ks),
             _check_axis("dtypes", dtypes),
             _check_axis("imbalances", imbalances),
+            _check_axis("placements", placements),
         )
         if any(not axis for axis in self.axes):
             raise ValueError("every grid axis needs at least one value")
@@ -324,9 +367,9 @@ class ScenarioGrid:
                 strategy=st, decomposed_comm=dc, sequential=sq,
                 straggler=sg, severity=sev, straggler_seed=seed,
                 num_experts=ne, capacity_factor=cf,
-                top_k=tk, dtype=dt, imbalance=im,
+                top_k=tk, dtype=dt, imbalance=im, placement=pl,
             )
-            for sy, sp, w, b, n, st, dc, sq, sg, sev, seed, ne, cf, tk, dt, im
+            for sy, sp, w, b, n, st, dc, sq, sg, sev, seed, ne, cf, tk, dt, im, pl
             in itertools.product(*self.axes)
         ]
 

@@ -47,7 +47,7 @@ import tempfile
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -71,9 +71,12 @@ from repro.sweep.resilience import (
     run_with_policy_async,
 )
 from repro.config import DGX_A100_CLUSTER, MoELayerSpec, get_preset
+from repro.hardware.device import A100_SXM_40GB
 from repro.hardware.hetero import HeteroClusterSpec, StragglerModel
+from repro.perfmodel.placement import PlacementSpec
+from repro.perfmodel.placeopt import PlacementProblem, optimize_placement
 from repro.perfmodel.workload import WorkloadSpec
-from repro.sweep.grid import Scenario, ScenarioGrid
+from repro.sweep.grid import Scenario, ScenarioGrid, scenario_payload
 from repro.systems import (
     FastMoEModel,
     FasterMoEModel,
@@ -341,6 +344,7 @@ def scenario_workload(scenario: Scenario) -> WorkloadSpec | None:
         and scenario.dtype is None
         and scenario.imbalance == 1.0
         and scenario.capacity_factor is None
+        and scenario.placement is None
     ):
         return None
     kwargs = dict(
@@ -349,8 +353,48 @@ def scenario_workload(scenario: Scenario) -> WorkloadSpec | None:
         capacity_factor=scenario.capacity_factor,
     )
     if scenario.dtype is not None:
-        return WorkloadSpec.for_dtype(scenario.dtype, **kwargs)
-    return WorkloadSpec(**kwargs)
+        workload = WorkloadSpec.for_dtype(scenario.dtype, **kwargs)
+    else:
+        workload = WorkloadSpec(**kwargs)
+    if scenario.placement is not None:
+        workload = replace(
+            workload, placement=scenario_placement(scenario, workload)
+        )
+    return workload
+
+
+def scenario_placement(scenario: Scenario, workload: WorkloadSpec) -> PlacementSpec:
+    """Lower the scenario's placement axis to a :class:`PlacementSpec`.
+
+    The named strategies pass through symbolically; ``"optimized"`` is
+    lowered eagerly — here, once per scenario, not in a pricing loop —
+    by building a :class:`~repro.perfmodel.placeopt.PlacementProblem`
+    from the workload's skew histogram, the scenario's hetero per-rank
+    compute rates, and the per-device Eq. 5 memory budget (the slowest
+    device's capacity, matching the selector's bound), then running the
+    greedy + local-search optimizer.  An explicit assignment comes back,
+    so every downstream layer prices exactly what was chosen.
+    """
+    if scenario.placement != "optimized":
+        return PlacementSpec(strategy=scenario.placement)
+    spec = _scenario_spec(scenario)
+    hetero = scenario_hetero(scenario)
+    world = scenario.world_size
+    if hetero is not None:
+        comp_rates = tuple(hetero.rates_for(r).comp for r in range(world))
+        memory = hetero.min_memory_bytes(world)
+    else:
+        comp_rates = None
+        memory = A100_SXM_40GB.memory_bytes
+    problem = PlacementProblem.from_workload(
+        spec,
+        workload,
+        world,
+        scenario.batch,
+        comp_rates=comp_rates,
+        memory_bytes=memory,
+    )
+    return optimize_placement(problem)
 
 
 def _with_cache_stats(ctx: SystemContext, before: dict, values: dict) -> dict:
@@ -723,9 +767,11 @@ class SweepRunner:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        # asdict(), not __dict__: the latter would leak the memoized
-        # __hash__ slot Scenario caches on first use into the JSON file.
-        payload = {"scenario": asdict(scenario), "values": values}
+        # scenario_payload(), not __dict__: the latter would leak the
+        # memoized __hash__ slot Scenario caches on first use into the
+        # JSON file (and axis-absent defaults must stay omitted so old
+        # entries stay byte-identical).
+        payload = {"scenario": scenario_payload(scenario), "values": values}
         if stats is not None:
             payload["evaluator_cache"] = stats
         if attempts > 1:  # only written when retries happened: healthy

@@ -179,6 +179,59 @@ class TestStragglerModel:
         assert all(0.6 <= comp <= 1.0 for comp in comps)
         assert len(set(comps)) > 1  # genuinely jittered
 
+    def test_two_slow_gpus_hit_the_target_and_its_antipode(self):
+        spec = StragglerModel("two-slow-gpus", severity=0.5, target=3).build()
+        world = spec.cluster.world_size
+        other = (3 + world // 2) % world
+        assert spec.rates_for(3) == DeviceRates(comp=0.5)
+        assert spec.rates_for(other) == DeviceRates(comp=0.5)
+        healthy = [r for r in range(world) if r not in (3, other)]
+        assert all(spec.rates_for(r).is_unit for r in healthy)
+
+    def test_two_slow_gpus_needs_two_ranks(self):
+        tiny = ClusterSpec(num_nodes=1, gpus_per_node=1)
+        with pytest.raises(ValueError, match="world_size >= 2"):
+            StragglerModel("two-slow-gpus", severity=0.5).build(tiny)
+
+    def test_slow_gpu_degraded_link_splits_the_faults(self):
+        """Compute fault on the target, comm fault on its neighbour —
+        no single-victim rescale can describe this cluster."""
+        spec = StragglerModel(
+            "slow-gpu-degraded-link", severity=0.5, target=7
+        ).build()
+        assert spec.rates_for(7) == DeviceRates(comp=0.5)
+        assert spec.rates_for(8) == DeviceRates(comm=0.5)
+        assert spec.rates_for(6).is_unit
+        assert spec.link_overrides().gpu(8) == 0.5
+        assert spec.link_overrides().gpu(7) == 1.0
+
+    def test_slow_gpu_degraded_link_wraps_at_the_world_edge(self):
+        small = ClusterSpec(num_nodes=1, gpus_per_node=4)
+        spec = StragglerModel(
+            "slow-gpu-degraded-link", severity=0.5, target=3
+        ).build(small)
+        assert spec.rates_for(3) == DeviceRates(comp=0.5)
+        assert spec.rates_for(0) == DeviceRates(comm=0.5)
+
+    def test_composed_kinds_price_worse_than_their_parts(self):
+        """A composition must cost at least as much as the single-fault
+        kind it extends, end to end through the sweep."""
+        from repro.sweep import Scenario, evaluate_timeline
+
+        base = dict(system="timeline", spec="GPT-S", world_size=8,
+                    batch=2048, n=2, strategy="S1", severity=0.5)
+        single = evaluate_timeline(
+            Scenario(**base, straggler="single-slow-gpu")
+        )
+        double = evaluate_timeline(
+            Scenario(**base, straggler="two-slow-gpus")
+        )
+        combo = evaluate_timeline(
+            Scenario(**base, straggler="slow-gpu-degraded-link")
+        )
+        assert double["makespan"] >= single["makespan"]
+        assert combo["makespan"] >= single["makespan"]
+
     def test_target_outside_cluster_rejected(self):
         small = ClusterSpec(num_nodes=1, gpus_per_node=4)
         with pytest.raises(ValueError, match="outside"):

@@ -1,0 +1,186 @@
+"""The skew-aware placement optimizer vs. ground-truth enumeration.
+
+The headline property: greedy + local search finds the *exact* optimum
+(the exhaustive ``W^E`` score) on every small instance the agreement
+sweep covers — skewed loads, heterogeneous device rates, and binding
+Eq. 5 memory bounds included.  Both searchers must also never emit an
+infeasible placement, and must raise loudly when none exists.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import MOE_GPT3_S
+from repro.perfmodel.placeopt import (
+    PlacementProblem,
+    exhaustive_placement,
+    optimize_placement,
+)
+from repro.perfmodel.placement import PlacementSpec
+from repro.perfmodel.workload import WorkloadSpec
+
+BATCH = 4096
+
+
+def small_spec(num_experts: int):
+    return replace(MOE_GPT3_S, name=f"tiny-E{num_experts}",
+                   num_experts=num_experts)
+
+
+def skewed_rows(num_experts: int, imbalance: float) -> tuple[float, ...]:
+    """The two-level skew histogram WorkloadSpec.load uses (hot first)."""
+    uniform = BATCH / num_experts
+    hot = min(imbalance * uniform, float(BATCH))
+    cold = (BATCH - hot) / (num_experts - 1) if num_experts > 1 else hot
+    return (hot,) + (cold,) * (num_experts - 1)
+
+
+def problem(num_experts, world, imbalance=4.0, comp_rates=None,
+            memory_bytes=None, max_per_rank=None):
+    return PlacementProblem(
+        spec=small_spec(num_experts),
+        batch=BATCH,
+        world_size=world,
+        per_expert_rows=skewed_rows(num_experts, imbalance),
+        comp_rates=comp_rates or (1.0,) * world,
+        memory_bytes=memory_bytes,
+        max_per_rank=max_per_rank,
+    )
+
+
+class TestPlacementProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="need 4 per-expert loads"):
+            PlacementProblem(
+                spec=small_spec(4), batch=BATCH, world_size=2,
+                per_expert_rows=(1.0,), comp_rates=(1.0, 1.0),
+            )
+        with pytest.raises(ValueError, match="need 2 comp rates"):
+            PlacementProblem(
+                spec=small_spec(4), batch=BATCH, world_size=2,
+                per_expert_rows=skewed_rows(4, 1.0), comp_rates=(1.0,),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            problem(4, 2, comp_rates=(1.0, 0.0))
+        with pytest.raises(ValueError, match="cannot host"):
+            problem(4, 2, max_per_rank=1)
+
+    def test_score_is_the_rate_weighted_anchored_bottleneck(self):
+        p = problem(4, 2, imbalance=1.0, comp_rates=(1.0, 0.5))
+        # Uniform rows: every hosting rank anchors to exactly B; the
+        # 0.5x rank therefore scores 2B and gates.
+        assert p.score((0, 0, 1, 1)) == pytest.approx(BATCH / 0.5)
+        # All experts on the healthy rank would score B — but the rank
+        # cap (balanced sharding) makes that assignment infeasible.
+        assert p.score((0, 0, 0, 0)) == pytest.approx(BATCH)
+        assert not p.feasible((0, 0, 0, 0))
+
+    def test_rank_cap_defaults_to_balanced_ceil(self):
+        assert problem(5, 3).rank_cap == 2
+        assert problem(5, 3, max_per_rank=3).rank_cap == 3
+
+    def test_from_workload_ignores_the_workloads_own_placement(self):
+        wl = WorkloadSpec(imbalance=4.0,
+                          placement=PlacementSpec.round_robin())
+        p = PlacementProblem.from_workload(small_spec(4), wl, 2, BATCH)
+        assert p.per_expert_rows == skewed_rows(4, 4.0)
+
+    def test_memory_bound_marks_hot_stacking_infeasible(self):
+        p = problem(4, 2, imbalance=4.0)
+        hot_stacked = (0, 0, 1, 1)
+        # Shrink the budget until the hot rank no longer fits.
+        loads = [0.0, 0.0]
+        counts = [0, 0]
+        for e, r in enumerate(hot_stacked):
+            loads[r] += p.per_expert_rows[e]
+            counts[r] += 1
+        hot_bytes = max(
+            p.device_bytes(counts[r], loads[r]) for r in range(2)
+        )
+        tight = replace(p, memory_bytes=hot_bytes - 1)
+        assert p.feasible(hot_stacked)
+        assert not tight.feasible(hot_stacked)
+
+
+class TestAgreementSweep:
+    """Greedy + local search == exhaustive optimum for E <= 6, W <= 4."""
+
+    @pytest.mark.parametrize("imbalance", [1.0, 2.0, 4.0, 8.0])
+    def test_homogeneous(self, imbalance):
+        for e in (2, 3, 4, 6):
+            for w in (2, 3, 4):
+                p = problem(e, w, imbalance=imbalance)
+                got = optimize_placement(p)
+                want = exhaustive_placement(p)
+                assert p.score(got.assignment) == pytest.approx(
+                    p.score(want.assignment), rel=1e-12
+                ), (e, w, imbalance)
+                assert p.feasible(got.assignment)
+
+    @pytest.mark.parametrize("rates", [
+        (1.0, 0.5), (0.5, 1.0), (1.0, 0.7, 0.4), (0.4, 1.0, 1.0, 0.6),
+    ])
+    def test_heterogeneous_rates(self, rates):
+        w = len(rates)
+        for e in (2, 4, 6):
+            for imbalance in (1.0, 4.0):
+                p = problem(e, w, imbalance=imbalance, comp_rates=rates)
+                got = optimize_placement(p)
+                want = exhaustive_placement(p)
+                assert p.score(got.assignment) == pytest.approx(
+                    p.score(want.assignment), rel=1e-12
+                ), (e, w, imbalance, rates)
+
+    def test_under_a_binding_memory_bound(self):
+        p = problem(4, 4, imbalance=8.0, comp_rates=(1.0, 1.0, 0.5, 1.0))
+        # The loosest budget that still admits a balanced assignment.
+        per_rows = p.per_expert_rows
+        budget = p.device_bytes(1, max(per_rows))
+        tight = replace(p, memory_bytes=budget)
+        got = optimize_placement(tight)
+        want = exhaustive_placement(tight)
+        assert tight.feasible(got.assignment)
+        assert tight.score(got.assignment) == pytest.approx(
+            tight.score(want.assignment), rel=1e-12
+        )
+
+    def test_optimum_routes_heat_away_from_the_straggler(self):
+        # One 0.5x rank, strong skew: the hot expert must not land there.
+        p = problem(4, 4, imbalance=8.0, comp_rates=(0.5, 1.0, 1.0, 1.0))
+        spec = optimize_placement(p)
+        assert spec.assignment[0] != 0
+
+
+class TestEmittedPlacements:
+    def test_explicit_and_feasible(self):
+        p = problem(6, 3, imbalance=4.0)
+        for searcher in (optimize_placement, exhaustive_placement):
+            spec = searcher(p)
+            assert spec.strategy == "explicit"
+            assert p.feasible(spec.assignment)
+            # Eq. 5 holds on every device of the emitted placement.
+            loads = [0.0] * 3
+            counts = [0] * 3
+            for e, r in enumerate(spec.assignment):
+                loads[r] += p.per_expert_rows[e]
+                counts[r] += 1
+            for r in range(3):
+                assert counts[r] <= p.rank_cap
+
+    def test_infeasible_instances_raise(self):
+        starved = problem(4, 2, memory_bytes=1)
+        with pytest.raises(ValueError, match="no feasible placement"):
+            optimize_placement(starved)
+        with pytest.raises(ValueError, match="no feasible placement"):
+            exhaustive_placement(starved)
+
+    def test_exhaustive_refuses_intractable_instances(self):
+        p = problem(64, 4)
+        with pytest.raises(ValueError, match="intractable"):
+            exhaustive_placement(p)
+
+    def test_deterministic(self):
+        p = problem(6, 4, imbalance=4.0, comp_rates=(1.0, 0.6, 1.0, 0.8))
+        assert optimize_placement(p) == optimize_placement(p)
+        assert exhaustive_placement(p) == exhaustive_placement(p)

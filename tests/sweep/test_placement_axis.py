@@ -1,0 +1,143 @@
+"""The ``placement`` sweep axis: grid expansion, keys, caching, lowering.
+
+The compatibility contract the serialization tests pin: a scenario with
+``placement=None`` produces exactly the pre-placement payload (no
+``placement`` key), so every digest, on-disk cache entry, and result
+row minted before this axis existed keeps verifying.
+"""
+
+import json
+
+import pytest
+
+from repro.api.result import ResultSet
+from repro.sweep import (
+    Scenario,
+    ScenarioGrid,
+    SweepResult,
+    SweepRunner,
+    evaluate_timeline,
+)
+from repro.sweep.grid import scenario_payload
+
+BASE = dict(system="timeline", spec="GPT-S", world_size=8, batch=1024,
+            n=1, strategy="S1")
+
+
+class TestScenarioPlacementField:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            Scenario(**BASE, placement="spiral")
+        with pytest.raises(ValueError, match="unknown placement"):
+            # 'explicit' needs an assignment tuple: API-only, not an axis.
+            Scenario(**BASE, placement="explicit")
+
+    def test_shadowed_needs_a_second_rank(self):
+        with pytest.raises(ValueError, match="world_size >= 2"):
+            Scenario(system="timeline", spec="GPT-S", world_size=1,
+                     batch=1024, n=1, strategy="none", placement="shadowed")
+
+    def test_label_carries_the_placement(self):
+        assert "pl=round_robin" in Scenario(
+            **BASE, placement="round_robin"
+        ).label()
+        assert "pl=" not in Scenario(**BASE).label()
+
+    def test_payload_omits_none_and_round_trips(self):
+        free = Scenario(**BASE)
+        assert "placement" not in scenario_payload(free)
+        assert Scenario(**scenario_payload(free)) == free
+        placed = Scenario(**BASE, placement="optimized")
+        payload = scenario_payload(placed)
+        assert payload["placement"] == "optimized"
+        assert Scenario(**payload) == placed
+
+    def test_keys_distinguish_placements(self):
+        keys = {
+            Scenario(**BASE, placement=p).key()
+            for p in (None, "contiguous", "round_robin", "shadowed",
+                      "optimized")
+        }
+        assert len(keys) == 5
+
+    def test_result_json_omits_the_field_for_placement_free_rows(self):
+        rows = json.loads(
+            ResultSet(
+                [SweepResult(Scenario(**BASE), {"makespan": 1.0})]
+            ).to_json()
+        )
+        assert "placement" not in rows[0]["scenario"]
+        placed_rows = json.loads(
+            ResultSet([
+                SweepResult(
+                    Scenario(**BASE, placement="round_robin"),
+                    {"makespan": 1.0},
+                )
+            ]).to_json()
+        )
+        assert placed_rows[0]["scenario"]["placement"] == "round_robin"
+
+
+class TestGridAxis:
+    def test_placements_axis_expands(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(1024,), ns=(1,), strategies=("S1",),
+            placements=(None, "round_robin", "shadowed"),
+        )
+        scenarios = list(grid)
+        assert len(scenarios) == 3
+        assert {s.placement for s in scenarios} == \
+            {None, "round_robin", "shadowed"}
+
+    def test_default_grid_has_no_placement(self):
+        grid = ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(1024,), ns=(1,), strategies=("S1",),
+        )
+        assert all(s.placement is None for s in grid)
+
+
+class TestRunnerIntegration:
+    def _grid(self, placements):
+        return ScenarioGrid(
+            systems=("timeline",), specs=("GPT-S",), world_sizes=(8,),
+            batches=(1024,), ns=(1, 2), strategies=("S1",),
+            imbalances=(4.0,), placements=placements,
+        )
+
+    def test_cache_files_round_trip_placed_scenarios(self, tmp_path):
+        grid = self._grid((None, "round_robin"))
+        runner = SweepRunner(
+            evaluate_timeline, cache_dir=tmp_path, backend="serial"
+        )
+        first = runner.run(grid)
+        second = SweepRunner(
+            evaluate_timeline, cache_dir=tmp_path, backend="serial"
+        ).run(grid)
+        assert [r.values for r in first] == [r.values for r in second]
+        assert all(not r.cached for r in first)
+        assert all(r.cached for r in second)
+
+    def test_cached_payloads_stay_free_of_none_placement(self, tmp_path):
+        grid = self._grid((None,))
+        SweepRunner(
+            evaluate_timeline, cache_dir=tmp_path, backend="serial"
+        ).run(grid)
+        payloads = [
+            json.loads(p.read_text())["scenario"]
+            for p in tmp_path.rglob("*.json")
+        ]
+        assert payloads and all("placement" not in s for s in payloads)
+
+    def test_optimized_beats_contiguous_under_a_straggler(self):
+        base = dict(system="timeline", spec="GPT-S", world_size=8,
+                    batch=2048, n=2, strategy="S1", imbalance=4.0,
+                    straggler="single-slow-gpu", severity=0.5)
+        contiguous = evaluate_timeline(
+            Scenario(**base, placement="contiguous")
+        )
+        optimized = evaluate_timeline(
+            Scenario(**base, placement="optimized")
+        )
+        assert optimized["makespan"] < contiguous["makespan"]
